@@ -1,0 +1,264 @@
+//! The application abstraction shared by the three simulated programs.
+
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_env::{Environment, OwnerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One workload request to an application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// The application-specific command, e.g. `"GET /index.html"` or
+    /// `"SELECT COUNT(*) FROM t"`.
+    pub body: String,
+    /// The requesting client's host name (used by reverse-DNS paths).
+    pub client: String,
+    /// Whether the one-shot external timing event accompanying this
+    /// request fires (a user pressing stop mid-download, an unexplained
+    /// transient). The event belongs to the *operating environment's
+    /// timing*, so a generic recovery's replay of the same request does
+    /// not replay the event — the harness sets this only on the first
+    /// attempt.
+    pub timing_event: bool,
+}
+
+impl Request {
+    /// A request with the given body from the default client.
+    pub fn new(body: impl Into<String>) -> Request {
+        Request { body: body.into(), client: "client0".to_owned(), timing_event: false }
+    }
+
+    /// Sets the client host.
+    pub fn from_client(mut self, client: impl Into<String>) -> Request {
+        self.client = client.into();
+        self
+    }
+
+    /// Arms the one-shot timing event.
+    pub fn with_timing_event(mut self) -> Request {
+        self.timing_event = true;
+        self
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (from {})", self.body, self.client)
+    }
+}
+
+/// A successful (or gracefully failed) response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    /// The request was served; payload is application-specific.
+    Ok(String),
+    /// The application detected a problem and reported it without failing
+    /// (e.g. an SQL syntax error). Not a fault manifestation.
+    Denied(String),
+}
+
+impl Response {
+    /// Whether the request was served.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+}
+
+/// A high-impact failure: the manifestations the study selects for —
+/// crashes, hangs, and hard error returns (§4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppFailure {
+    /// The process died (segfault, abort, assertion).
+    Crash(String),
+    /// The process stopped responding.
+    Hang(String),
+    /// The operation failed hard with an error the application could not
+    /// mask (e.g. every write failing on a full filesystem).
+    ErrorReturn(String),
+}
+
+impl AppFailure {
+    /// Short description of what went wrong.
+    pub fn reason(&self) -> &str {
+        match self {
+            AppFailure::Crash(r) | AppFailure::Hang(r) | AppFailure::ErrorReturn(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for AppFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppFailure::Crash(r) => write!(f, "crash: {r}"),
+            AppFailure::Hang(r) => write!(f, "hang: {r}"),
+            AppFailure::ErrorReturn(r) => write!(f, "error: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for AppFailure {}
+
+/// An opaque, serialized application checkpoint.
+///
+/// A *truly generic* recovery system "must preserve all application state
+/// (e.g. by checkpointing or logging), because there is no application-
+/// specific code to reconstruct missing state" (§2) — so the checkpoint is
+/// a byte-for-byte snapshot the recovery layer cannot interpret, only
+/// restore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppState(String);
+
+impl AppState {
+    /// Serializes a state value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state fails to serialize, which for the in-crate state
+    /// types cannot happen.
+    pub fn encode<T: Serialize>(state: &T) -> AppState {
+        AppState(serde_json::to_string(state).expect("app state serializes"))
+    }
+
+    /// Deserializes back into a concrete state type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not decode as `T` — restoring a
+    /// checkpoint into the wrong application is a harness bug, not a
+    /// recoverable condition.
+    pub fn decode<T: for<'de> Deserialize<'de>>(&self) -> T {
+        serde_json::from_str(&self.0).expect("checkpoint decodes into its own state type")
+    }
+
+    /// Size of the serialized checkpoint in bytes (used by the recovery
+    /// overhead benchmarks).
+    pub fn size_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Error injecting a fault the application does not know.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectError {
+    /// The slug that was not recognised.
+    pub slug: String,
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown fault slug for this application: {}", self.slug)
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// A simulated application: a checkpointable state machine over the
+/// simulated operating environment.
+pub trait Application {
+    /// Which of the study's applications this simulates.
+    fn kind(&self) -> AppKind;
+
+    /// The application's resource-owner id in the environment.
+    fn owner(&self) -> OwnerId;
+
+    /// Handles one request against the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AppFailure`] when the request manifests a fault
+    /// (injected or environmental).
+    fn handle(&mut self, req: &Request, env: &mut Environment) -> Result<Response, AppFailure>;
+
+    /// Takes a full checkpoint of application state.
+    fn snapshot(&self) -> AppState;
+
+    /// Restores a checkpoint taken by [`Application::snapshot`].
+    fn restore(&mut self, state: &AppState);
+
+    /// Enables the corpus fault `slug` in this application and sets up any
+    /// environmental precondition the fault's trigger requires (fills the
+    /// disk, exhausts descriptors, breaks DNS, …).
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] if the slug does not belong to this application.
+    fn inject(&mut self, slug: &str, env: &mut Environment) -> Result<(), InjectError>;
+
+    /// The request that triggers fault `slug` (the How-To-Repeat field), or
+    /// `None` for unknown slugs.
+    fn trigger_request(&self, slug: &str) -> Option<Request>;
+
+    /// A benign request used as background load; must succeed on a healthy
+    /// application.
+    fn benign_request(&self) -> Request;
+
+    /// The request that invokes the application's own rejuvenation code
+    /// (§6.2's example: Apache's special signal), or `None` if the
+    /// application has no such hook. Software rejuvenation \[Huang95\] "takes
+    /// advantage of recovery code that is already present in the
+    /// application", so this is inherently application-specific.
+    fn rejuvenate_request(&self) -> Option<Request> {
+        None
+    }
+
+    /// Application-specific cold start: re-initialize session state from
+    /// the *current* environment using application knowledge — release the
+    /// application's own leaked resources, rebind to the current hostname,
+    /// reset internal counters — while preserving durable data and, of
+    /// course, the code's defects. This is the "application-specific
+    /// recovery" comparator of §2: exactly the state reconstruction a
+    /// purely generic mechanism is not allowed to perform.
+    fn cold_start(&mut self, env: &mut Environment) {
+        env.fds.close_all_of(self.owner());
+        env.procs.kill_all_of(self.owner());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_chain() {
+        let r = Request::new("GET /").from_client("host9").with_timing_event();
+        assert_eq!(r.body, "GET /");
+        assert_eq!(r.client, "host9");
+        assert!(r.timing_event);
+        assert_eq!(r.to_string(), "GET / (from host9)");
+    }
+
+    #[test]
+    fn response_predicates() {
+        assert!(Response::Ok("x".into()).is_ok());
+        assert!(!Response::Denied("y".into()).is_ok());
+    }
+
+    #[test]
+    fn failure_reason_and_display() {
+        let f = AppFailure::Crash("segfault".into());
+        assert_eq!(f.reason(), "segfault");
+        assert_eq!(f.to_string(), "crash: segfault");
+        assert_eq!(AppFailure::Hang("stuck".into()).to_string(), "hang: stuck");
+        assert_eq!(AppFailure::ErrorReturn("enospc".into()).to_string(), "error: enospc");
+    }
+
+    #[test]
+    fn app_state_round_trips() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct S {
+            a: u32,
+            b: Vec<String>,
+        }
+        let s = S { a: 7, b: vec!["x".into()] };
+        let snap = AppState::encode(&s);
+        assert!(snap.size_bytes() > 0);
+        let back: S = snap.decode();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn inject_error_display() {
+        let e = InjectError { slug: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+    }
+}

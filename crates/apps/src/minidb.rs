@@ -1,0 +1,798 @@
+//! `MiniDb`: the MySQL-like database server.
+//!
+//! Implements a small but real SQL subset — `CREATE TABLE`, `INSERT`,
+//! `SELECT` (with `COUNT(*)`, `WHERE`, `ORDER BY`), `UPDATE`, `DELETE`,
+//! `OPTIMIZE TABLE`, `LOCK/UNLOCK/FLUSH TABLES` — over tables whose data
+//! files live in the virtual filesystem, so the full-disk and
+//! max-file-size faults of §5.3 arise from real writes. The five named
+//! environment-independent MySQL bugs are realized in their actual code
+//! paths (a `COUNT` on an empty table really does take the buggy branch);
+//! the two race faults run the use-after-free gadget under the
+//! environment's thread interleaving.
+
+use crate::app::{AppFailure, AppState, Application, InjectError, Request, Response};
+use crate::race::RaceGadget;
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_env::dns::Lookup;
+use faultstudy_env::fs::FsError;
+use faultstudy_env::{Environment, OwnerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bytes one row occupies in a table's data file.
+const ROW_BYTES: u64 = 32;
+/// Maximum parenthesis nesting a healthy parser accepts (mysql-ei-18's
+/// buggy parser has a fixed 64-frame yacc arena with no check).
+const PAREN_DEPTH_LIMIT: u32 = 64;
+/// Maximum columns per table (mysql-ei-24's buggy path checks too late).
+const COLUMN_LIMIT: usize = 2048;
+
+/// Maximum parenthesis nesting depth of a statement.
+fn paren_depth(sql: &str) -> u32 {
+    let mut depth = 0u32;
+    let mut max = 0u32;
+    for c in sql.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            ')' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    max
+}
+
+/// One table: named integer columns, rows, and at most one indexed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<i64>>,
+    /// Index of the indexed column, if any.
+    indexed: Option<usize>,
+}
+
+impl Table {
+    fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// The checkpointable state of the server.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct DbState {
+    enabled_bugs: BTreeSet<String>,
+    tables: BTreeMap<String, Table>,
+    locked: BTreeSet<String>,
+    executed: u64,
+}
+
+/// The MySQL-like database server.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_apps::{Application, MiniDb, Request};
+/// use faultstudy_env::Environment;
+///
+/// let mut env = Environment::builder().seed(2).build();
+/// let mut db = MiniDb::new(&mut env);
+/// db.handle(&Request::new("CREATE TABLE t (k, v)"), &mut env).unwrap();
+/// db.handle(&Request::new("INSERT INTO t VALUES (1, 10)"), &mut env).unwrap();
+/// let resp = db.handle(&Request::new("SELECT COUNT(*) FROM t"), &mut env).unwrap();
+/// assert!(format!("{resp:?}").contains('1'));
+/// ```
+#[derive(Debug)]
+pub struct MiniDb {
+    owner: OwnerId,
+    state: DbState,
+}
+
+impl MiniDb {
+    /// Creates the server, registering it as a resource owner in `env`.
+    pub fn new(env: &mut Environment) -> MiniDb {
+        let owner = env.register_owner("minidb");
+        MiniDb { owner, state: DbState::default() }
+    }
+
+    /// Statements executed since start.
+    pub fn executed(&self) -> u64 {
+        self.state.executed
+    }
+
+    fn bug(&self, slug: &str) -> bool {
+        self.state.enabled_bugs.contains(slug)
+    }
+
+    fn ok(&mut self, msg: impl Into<String>) -> Result<Response, AppFailure> {
+        self.state.executed += 1;
+        Ok(Response::Ok(msg.into()))
+    }
+
+    fn create_table(&mut self, rest: &str, env: &mut Environment)
+        -> Result<Response, AppFailure> {
+        // CREATE TABLE <name> (<c1>, <c2>, ...)
+        let Some((name, cols)) = rest.split_once('(') else {
+            return Ok(Response::Denied("syntax error in CREATE TABLE".into()));
+        };
+        let name = name.trim().to_owned();
+        let columns: Vec<String> = cols
+            .trim_end_matches(')')
+            .split(',')
+            .map(|c| c.trim().to_owned())
+            .filter(|c| !c.is_empty())
+            .collect();
+        if name.is_empty() || columns.is_empty() {
+            return Ok(Response::Denied("empty table name or column list".into()));
+        }
+        // mysql-ei-24: the buggy build writes the definition array before
+        // checking the field count.
+        if columns.len() > COLUMN_LIMIT {
+            if self.bug("mysql-ei-24") {
+                return Err(AppFailure::Crash(
+                    "definition array overrun before the field-count check".into(),
+                ));
+            }
+            return Ok(Response::Denied(format!(
+                "too many columns: {} > {COLUMN_LIMIT}",
+                columns.len()
+            )));
+        }
+        if self.state.tables.contains_key(&name) {
+            return Ok(Response::Denied(format!("table {name} exists")));
+        }
+        if env.fs.write(format!("minidb/{name}.dat"), 0).is_err() {
+            return Ok(Response::Denied("cannot create data file".into()));
+        }
+        self.state.tables.insert(name.clone(), Table { columns, rows: Vec::new(), indexed: Some(0) });
+        self.ok(format!("created {name}"))
+    }
+
+    fn insert(&mut self, rest: &str, env: &mut Environment) -> Result<Response, AppFailure> {
+        // INSERT INTO <name> VALUES (<v1>, ...)
+        let Some((name, values)) = rest.split_once("VALUES") else {
+            return Ok(Response::Denied("syntax error in INSERT".into()));
+        };
+        let name = name.trim().trim_start_matches("INTO").trim().to_owned();
+        let Some(table) = self.state.tables.get(&name) else {
+            return Ok(Response::Denied(format!("no such table {name}")));
+        };
+        let parsed: Option<Vec<i64>> = values
+            .trim()
+            .trim_start_matches('(')
+            .trim_end_matches(')')
+            .split(',')
+            .map(|v| v.trim().parse::<i64>().ok())
+            .collect();
+        let Some(row) = parsed else {
+            return Ok(Response::Denied("non-integer value in INSERT".into()));
+        };
+        if row.len() != table.columns.len() {
+            return Ok(Response::Denied("column count mismatch".into()));
+        }
+        match env.fs.append(format!("minidb/{name}.dat"), ROW_BYTES) {
+            Ok(()) => {}
+            Err(FsError::FileTooLarge { .. }) if self.bug("mysql-edn-03") => {
+                return Err(AppFailure::Crash(
+                    "table file exceeded the maximum allowed file size".into(),
+                ));
+            }
+            Err(FsError::NoSpace { .. }) if self.bug("mysql-edn-04") => {
+                return Err(AppFailure::ErrorReturn(
+                    "write failed: file system full".into(),
+                ));
+            }
+            Err(e) => return Ok(Response::Denied(format!("insert failed: {e}"))),
+        }
+        self.state.tables.get_mut(&name).expect("checked above").rows.push(row);
+        self.ok("1 row inserted")
+    }
+
+    fn select(&mut self, rest: &str) -> Result<Response, AppFailure> {
+        // SELECT <*|COUNT(*)> FROM <name> [WHERE c = v] [ORDER BY c]
+        let Some((proj, tail)) = rest.split_once("FROM") else {
+            return Ok(Response::Denied("syntax error in SELECT".into()));
+        };
+        let proj = proj.trim();
+        let tail = tail.trim();
+        let (name, where_clause, order_clause) = split_select_tail(tail);
+        let Some(table) = self.state.tables.get(&name) else {
+            return Ok(Response::Denied(format!("no such table {name}")));
+        };
+
+        let mut rows: Vec<&Vec<i64>> = table.rows.iter().collect();
+        if let Some((col, val)) = where_clause {
+            let Some(ci) = table.col(&col) else {
+                return Ok(Response::Denied(format!("no such column {col}")));
+            };
+            rows.retain(|r| r[ci] == val);
+        }
+
+        if proj.eq_ignore_ascii_case("COUNT(*)") {
+            if table.rows.is_empty() && self.bug("mysql-ei-03") {
+                return Err(AppFailure::Crash(
+                    "COUNT on an empty table: missing empty-table check".into(),
+                ));
+            }
+            let n = rows.len();
+            return self.ok(format!("{n}"));
+        }
+
+        if let Some(order_col) = order_clause {
+            if rows.is_empty() && self.bug("mysql-ei-02") {
+                return Err(AppFailure::Crash(
+                    "ORDER BY over zero records: sort buffer uninitialized".into(),
+                ));
+            }
+            let Some(ci) = table.col(&order_col) else {
+                return Ok(Response::Denied(format!("no such column {order_col}")));
+            };
+            rows.sort_by_key(|r| r[ci]);
+        }
+
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|r| r.iter().map(i64::to_string).collect::<Vec<_>>().join(","))
+            .collect();
+        self.ok(rendered.join(";"))
+    }
+
+    fn update(&mut self, rest: &str) -> Result<Response, AppFailure> {
+        // UPDATE <name> SET <col> = <v> [WHERE <col2> = <w>]
+        let Some((name, tail)) = rest.split_once("SET") else {
+            return Ok(Response::Denied("syntax error in UPDATE".into()));
+        };
+        let name = name.trim().to_owned();
+        let buggy_index_scan = self.bug("mysql-ei-01");
+        let Some(table) = self.state.tables.get_mut(&name) else {
+            return Ok(Response::Denied(format!("no such table {name}")));
+        };
+        let (set_part, where_part) = match tail.split_once("WHERE") {
+            Some((s, w)) => (s.trim(), Some(w.trim())),
+            None => (tail.trim(), None),
+        };
+        let Some((set_col, set_val)) = parse_eq(set_part) else {
+            return Ok(Response::Denied("syntax error in SET".into()));
+        };
+        let Some(sci) = table.col(&set_col) else {
+            return Ok(Response::Denied(format!("no such column {set_col}")));
+        };
+        let filter = match where_part {
+            Some(w) => match parse_eq(w) {
+                Some((c, v)) => match table.col(&c) {
+                    Some(ci) => Some((ci, v)),
+                    None => return Ok(Response::Denied(format!("no such column {c}"))),
+                },
+                None => return Ok(Response::Denied("syntax error in WHERE".into())),
+            },
+            None => None,
+        };
+
+        // The mysql-ei-01 defect: updating an indexed column to a value
+        // that will be found later while scanning the index creates
+        // duplicate index entries and crashes. The fixed code first scans
+        // for all matching rows, then updates.
+        let mut updated = 0u32;
+        for i in 0..table.rows.len() {
+            let matches = filter.map_or(true, |(ci, v)| table.rows[i][ci] == v);
+            if !matches {
+                continue;
+            }
+            if buggy_index_scan && table.indexed == Some(sci) {
+                let exists_later = table.rows[i + 1..].iter().any(|r| r[sci] == set_val);
+                if exists_later {
+                    return Err(AppFailure::Crash(
+                        "duplicate values created in index during scan".into(),
+                    ));
+                }
+            }
+            table.rows[i][sci] = set_val;
+            updated += 1;
+        }
+        self.ok(format!("{updated} rows updated"))
+    }
+
+    fn delete(&mut self, rest: &str) -> Result<Response, AppFailure> {
+        // DELETE FROM <name> [WHERE c = v]
+        let name_and_where = rest.trim().trim_start_matches("FROM").trim();
+        let (name, filter) = match name_and_where.split_once("WHERE") {
+            Some((n, w)) => (n.trim().to_owned(), Some(w.trim().to_owned())),
+            None => (name_and_where.to_owned(), None),
+        };
+        let Some(table) = self.state.tables.get_mut(&name) else {
+            return Ok(Response::Denied(format!("no such table {name}")));
+        };
+        let before = table.rows.len();
+        match filter {
+            None => table.rows.clear(),
+            Some(w) => {
+                let Some((c, v)) = parse_eq(&w) else {
+                    return Ok(Response::Denied("syntax error in WHERE".into()));
+                };
+                let Some(ci) = table.col(&c) else {
+                    return Ok(Response::Denied(format!("no such column {c}")));
+                };
+                table.rows.retain(|r| r[ci] != v);
+            }
+        }
+        let removed = before - table.rows.len();
+        self.ok(format!("{removed} rows deleted"))
+    }
+
+    fn connect(&mut self, req: &Request, env: &mut Environment) -> Result<Response, AppFailure> {
+        // Each connection consumes a descriptor, then resolves the client.
+        let fd = match env.fds.open(self.owner) {
+            Ok(fd) => fd,
+            Err(_) if self.bug("mysql-edn-01") => {
+                return Err(AppFailure::Crash(
+                    "accept failed: out of file descriptors".into(),
+                ));
+            }
+            Err(_) => return Ok(Response::Denied("too many connections".into())),
+        };
+        let lookup = env.dns.resolve_reverse(&req.client, env.now());
+        let _ = env.fds.close(fd);
+        match lookup {
+            Lookup::NoRecord if self.bug("mysql-edn-02") => Err(AppFailure::Crash(
+                "null hostname from unconfigured reverse DNS dereferenced".into(),
+            )),
+            Lookup::NoRecord | Lookup::ServerError => {
+                self.ok(format!("connected (unresolved {})", req.client))
+            }
+            Lookup::Resolved { .. } => self.ok(format!("connected {}", req.client)),
+        }
+    }
+
+    fn race(&mut self, slug: &str, what: &str, env: &mut Environment)
+        -> Result<Response, AppFailure> {
+        if !self.bug(slug) {
+            return self.ok(format!("{what} complete"));
+        }
+        match RaceGadget::default().run(env.current_interleaving()) {
+            Ok(()) => self.ok(format!("{what} complete")),
+            Err(reason) => Err(AppFailure::Crash(format!("{what}: {reason}"))),
+        }
+    }
+}
+
+/// Splits `"<name> [WHERE c = v] [ORDER BY c]"`.
+fn split_select_tail(tail: &str) -> (String, Option<(String, i64)>, Option<String>) {
+    let (rest, order) = match tail.split_once("ORDER BY") {
+        Some((r, o)) => (r.trim(), Some(o.trim().to_owned())),
+        None => (tail, None),
+    };
+    let (name, where_clause) = match rest.split_once("WHERE") {
+        Some((n, w)) => (n.trim().to_owned(), parse_eq(w)),
+        None => (rest.trim().to_owned(), None),
+    };
+    (name, where_clause, order)
+}
+
+/// Parses `"<col> = <int>"`.
+fn parse_eq(s: &str) -> Option<(String, i64)> {
+    let (c, v) = s.split_once('=')?;
+    let col = c.trim();
+    if col.is_empty() {
+        return None;
+    }
+    Some((col.to_owned(), v.trim().parse().ok()?))
+}
+
+impl Application for MiniDb {
+    fn kind(&self) -> AppKind {
+        AppKind::Mysql
+    }
+
+    fn owner(&self) -> OwnerId {
+        self.owner
+    }
+
+    fn handle(&mut self, req: &Request, env: &mut Environment) -> Result<Response, AppFailure> {
+        let body = req.body.trim().to_owned();
+        // mysql-ei-18: the recursive-descent expression parser has a fixed
+        // stack; the healthy build bounds the depth first.
+        if paren_depth(&body) > PAREN_DEPTH_LIMIT {
+            if self.bug("mysql-ei-18") {
+                return Err(AppFailure::Crash(
+                    "parser stack overrun on deeply nested parentheses".into(),
+                ));
+            }
+            return Ok(Response::Denied("expression too deeply nested".into()));
+        }
+        if let Some(slug) = body.strip_prefix("PROBE ") {
+            return if self.bug(slug) {
+                Err(AppFailure::Crash(format!("deterministic defect {slug} triggered")))
+            } else {
+                self.ok("probe passed")
+            };
+        }
+        if let Some(rest) = body.strip_prefix("CREATE TABLE ") {
+            return self.create_table(rest, env);
+        }
+        if let Some(rest) = body.strip_prefix("INSERT ") {
+            return self.insert(rest, env);
+        }
+        if let Some(rest) = body.strip_prefix("SELECT ") {
+            return self.select(rest);
+        }
+        if let Some(rest) = body.strip_prefix("UPDATE ") {
+            return self.update(rest);
+        }
+        if let Some(rest) = body.strip_prefix("DELETE ") {
+            return self.delete(rest);
+        }
+        if let Some(rest) = body.strip_prefix("OPTIMIZE TABLE ") {
+            let name = rest.trim();
+            if !self.state.tables.contains_key(name) {
+                return Ok(Response::Denied(format!("no such table {name}")));
+            }
+            if self.bug("mysql-ei-04") {
+                return Err(AppFailure::Crash(
+                    "OPTIMIZE TABLE: missing initialization in repair path".into(),
+                ));
+            }
+            return self.ok(format!("optimized {name}"));
+        }
+        if let Some(rest) = body.strip_prefix("LOCK TABLES ") {
+            let name = rest.trim().to_owned();
+            if !self.state.tables.contains_key(&name) {
+                return Ok(Response::Denied(format!("no such table {name}")));
+            }
+            self.state.locked.insert(name);
+            return self.ok("locked");
+        }
+        match body.as_str() {
+            "UNLOCK TABLES" => {
+                self.state.locked.clear();
+                self.ok("unlocked")
+            }
+            "FLUSH TABLES" => {
+                if !self.state.locked.is_empty() && self.bug("mysql-ei-05") {
+                    return Err(AppFailure::Crash(
+                        "FLUSH after LOCK frees the held lock list".into(),
+                    ));
+                }
+                self.ok("flushed")
+            }
+            "CONNECT" => self.connect(req, env),
+            "SHUTDOWN" => self.race("mysql-edt-01", "shutdown", env),
+            "ADMIN KILL" => self.race("mysql-edt-02", "admin command", env),
+            "PING" => self.ok("pong"),
+            other => Ok(Response::Denied(format!("syntax error near: {other}"))),
+        }
+    }
+
+    fn snapshot(&self) -> AppState {
+        AppState::encode(&self.state)
+    }
+
+    fn restore(&mut self, state: &AppState) {
+        self.state = state.decode();
+    }
+
+    fn inject(&mut self, slug: &str, env: &mut Environment) -> Result<(), InjectError> {
+        fn fixture(state: &mut DbState, env: &mut Environment, name: &str, rows: Vec<Vec<i64>>) {
+            let _ = env.fs.write(format!("minidb/{name}.dat"), ROW_BYTES * rows.len() as u64);
+            state.tables.insert(
+                name.to_owned(),
+                Table { columns: vec!["k".into(), "v".into()], rows, indexed: Some(0) },
+            );
+        }
+        match slug {
+            "mysql-ei-01" => fixture(&mut self.state, env, "t", vec![vec![1, 10], vec![2, 20]]),
+            "mysql-ei-02" | "mysql-ei-03" => fixture(&mut self.state, env, "empty", Vec::new()),
+            "mysql-ei-04" => fixture(&mut self.state, env, "t", vec![vec![1, 10]]),
+            "mysql-ei-05" => {
+                fixture(&mut self.state, env, "t", vec![vec![1, 10]]);
+                // The session had issued LOCK TABLES before the fatal FLUSH.
+                self.state.locked.insert("t".to_owned());
+            }
+            s if s.starts_with("mysql-ei-") => {}
+            "mysql-edn-01" => {
+                // The co-hosted web server grabs every descriptor.
+                let web = env.register_owner("cohosted-webserver");
+                env.fds.exhaust_as(web);
+            }
+            "mysql-edn-02" => {} // the client simply has no PTR record
+            "mysql-edn-03" => {
+                fixture(&mut self.state, env, "t", vec![vec![1, 10]]);
+                let max = env.fs.max_file_size();
+                env.fs.write("minidb/t.dat", max).expect("data file can reach the limit");
+            }
+            "mysql-edn-04" => {
+                fixture(&mut self.state, env, "t", vec![vec![1, 10]]);
+                env.fs.fill_with_ballast();
+            }
+            "mysql-edt-01" | "mysql-edt-02" => {
+                // Arm the race: the reported failure happened under an
+                // interleaving inside the window, so the first execution
+                // must observe one. Retries see fresh environment timing.
+                env.force_interleave_seed(RaceGadget::default().crashing_seed());
+            }
+            _ => return Err(InjectError { slug: slug.to_owned() }),
+        }
+        self.state.enabled_bugs.insert(slug.to_owned());
+        Ok(())
+    }
+
+    fn trigger_request(&self, slug: &str) -> Option<Request> {
+        let req = match slug {
+            "mysql-ei-01" => Request::new("UPDATE t SET k = 2 WHERE k = 1"),
+            "mysql-ei-02" => Request::new("SELECT * FROM empty WHERE k = 7 ORDER BY v"),
+            "mysql-ei-03" => Request::new("SELECT COUNT(*) FROM empty"),
+            "mysql-ei-04" => Request::new("OPTIMIZE TABLE t"),
+            "mysql-ei-05" => Request::new("FLUSH TABLES"),
+            "mysql-ei-18" => {
+                let depth = (PAREN_DEPTH_LIMIT + 1) as usize;
+                Request::new(format!(
+                    "SELECT * FROM t WHERE {}k = 1{}",
+                    "(".repeat(depth),
+                    ")".repeat(depth)
+                ))
+            }
+            "mysql-ei-24" => {
+                let cols: Vec<String> = (0..=COLUMN_LIMIT).map(|i| format!("c{i}")).collect();
+                Request::new(format!("CREATE TABLE wide ({})", cols.join(", ")))
+            }
+            s if s.starts_with("mysql-ei-") => Request::new(format!("PROBE {s}")),
+            "mysql-edn-01" => Request::new("CONNECT"),
+            "mysql-edn-02" => Request::new("CONNECT").from_client("unregistered.host"),
+            "mysql-edn-03" | "mysql-edn-04" => Request::new("INSERT INTO t VALUES (3, 30)"),
+            "mysql-edt-01" => Request::new("SHUTDOWN"),
+            "mysql-edt-02" => Request::new("ADMIN KILL"),
+            _ => return None,
+        };
+        Some(req)
+    }
+
+    fn benign_request(&self) -> Request {
+        Request::new("PING")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_sim::time::Duration;
+
+    fn setup() -> (Environment, MiniDb) {
+        let mut env = Environment::builder()
+            .seed(9)
+            .fd_limit(8)
+            .fs_capacity(64 * 1024)
+            .max_file_size(8 * 1024)
+            .build();
+        let db = MiniDb::new(&mut env);
+        (env, db)
+    }
+
+    fn run(db: &mut MiniDb, env: &mut Environment, sql: &str) -> Result<Response, AppFailure> {
+        db.handle(&Request::new(sql), env)
+    }
+
+    #[test]
+    fn create_insert_select_round_trip() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        run(&mut db, &mut env, "INSERT INTO t VALUES (2, 20)").unwrap();
+        run(&mut db, &mut env, "INSERT INTO t VALUES (1, 10)").unwrap();
+        let resp = run(&mut db, &mut env, "SELECT * FROM t ORDER BY k").unwrap();
+        assert_eq!(resp, Response::Ok("1,10;2,20".into()));
+        let count = run(&mut db, &mut env, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(count, Response::Ok("2".into()));
+    }
+
+    #[test]
+    fn where_filter_and_update_and_delete() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        for (k, v) in [(1, 10), (2, 20), (3, 30)] {
+            run(&mut db, &mut env, &format!("INSERT INTO t VALUES ({k}, {v})")).unwrap();
+        }
+        let resp = run(&mut db, &mut env, "SELECT * FROM t WHERE k = 2").unwrap();
+        assert_eq!(resp, Response::Ok("2,20".into()));
+        run(&mut db, &mut env, "UPDATE t SET v = 99 WHERE k = 2").unwrap();
+        let resp = run(&mut db, &mut env, "SELECT * FROM t WHERE k = 2").unwrap();
+        assert_eq!(resp, Response::Ok("2,99".into()));
+        run(&mut db, &mut env, "DELETE FROM t WHERE k = 1").unwrap();
+        let count = run(&mut db, &mut env, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(count, Response::Ok("2".into()));
+    }
+
+    #[test]
+    fn syntax_errors_are_graceful() {
+        let (mut env, mut db) = setup();
+        for sql in [
+            "SELECT FROM",
+            "CREATE TABLE",
+            "INSERT INTO nowhere VALUES (1)",
+            "UPDATE t SET",
+            "GIBBERISH",
+            "SELECT * FROM missing",
+        ] {
+            let resp = run(&mut db, &mut env, sql).expect("graceful");
+            assert!(!resp.is_ok(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn count_on_empty_table_crashes_only_with_bug() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE empty (k, v)").unwrap();
+        assert!(run(&mut db, &mut env, "SELECT COUNT(*) FROM empty").unwrap().is_ok());
+        db.inject("mysql-ei-03", &mut env).unwrap();
+        let req = db.trigger_request("mysql-ei-03").unwrap();
+        assert!(matches!(db.handle(&req, &mut env), Err(AppFailure::Crash(_))));
+    }
+
+    #[test]
+    fn order_by_zero_records_crashes_only_with_bug() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-ei-02", &mut env).unwrap();
+        let req = db.trigger_request("mysql-ei-02").unwrap();
+        assert!(db.handle(&req, &mut env).is_err());
+        // Non-empty result under the same bug is fine.
+        run(&mut db, &mut env, "INSERT INTO empty VALUES (7, 70)").unwrap();
+        assert!(run(&mut db, &mut env, "SELECT * FROM empty WHERE k = 7 ORDER BY v")
+            .unwrap()
+            .is_ok());
+    }
+
+    #[test]
+    fn index_duplicate_update_crashes_and_fixed_order_is_fine() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-ei-01", &mut env).unwrap();
+        let req = db.trigger_request("mysql-ei-01").unwrap();
+        assert!(db.handle(&req, &mut env).is_err(), "k=1 -> 2 duplicates the later key");
+        // Updating to a fresh value takes the same path without the crash.
+        assert!(run(&mut db, &mut env, "UPDATE t SET k = 9 WHERE k = 1").unwrap().is_ok());
+    }
+
+    #[test]
+    fn flush_after_lock_crashes_with_bug() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-ei-05", &mut env).unwrap();
+        let req = db.trigger_request("mysql-ei-05").unwrap();
+        assert!(db.handle(&req, &mut env).is_err());
+        // And deterministically again after a state round-trip.
+        let snap = db.snapshot();
+        db.restore(&snap);
+        assert!(db.handle(&req, &mut env).is_err());
+    }
+
+    #[test]
+    fn optimize_crashes_with_bug_only() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        assert!(run(&mut db, &mut env, "OPTIMIZE TABLE t").unwrap().is_ok());
+        db.inject("mysql-ei-04", &mut env).unwrap();
+        let req = db.trigger_request("mysql-ei-04").unwrap();
+        assert!(db.handle(&req, &mut env).is_err());
+    }
+
+    #[test]
+    fn fd_competition_persists_across_generic_recovery() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-edn-01", &mut env).unwrap();
+        let req = db.trigger_request("mysql-edn-01").unwrap();
+        assert!(db.handle(&req, &mut env).is_err());
+        env.on_generic_recovery(db.owner());
+        assert!(
+            db.handle(&req, &mut env).is_err(),
+            "the web server still holds the descriptors"
+        );
+    }
+
+    #[test]
+    fn reverse_dns_fault_is_per_client() {
+        let (mut env, mut db) = setup();
+        env.dns.configure_reverse("friendly.host");
+        db.inject("mysql-edn-02", &mut env).unwrap();
+        let bad = db.trigger_request("mysql-edn-02").unwrap();
+        assert!(db.handle(&bad, &mut env).is_err());
+        let good = Request::new("CONNECT").from_client("friendly.host");
+        assert!(db.handle(&good, &mut env).unwrap().is_ok());
+    }
+
+    #[test]
+    fn max_file_size_blocks_inserts_permanently() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-edn-03", &mut env).unwrap();
+        let req = db.trigger_request("mysql-edn-03").unwrap();
+        assert!(db.handle(&req, &mut env).is_err());
+        env.on_generic_recovery(db.owner());
+        env.advance(Duration::from_secs(300));
+        assert!(db.handle(&req, &mut env).is_err());
+    }
+
+    #[test]
+    fn full_filesystem_blocks_inserts() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-edn-04", &mut env).unwrap();
+        let req = db.trigger_request("mysql-edn-04").unwrap();
+        match db.handle(&req, &mut env) {
+            Err(AppFailure::ErrorReturn(msg)) => assert!(msg.contains("full")),
+            other => panic!("expected hard error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_race_depends_on_interleaving_and_time_heals_it() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-edt-01", &mut env).unwrap();
+        let req = db.trigger_request("mysql-edt-01").unwrap();
+        // Deterministic for a fixed environment.
+        let first = db.handle(&req, &mut env).is_err();
+        let again = db.handle(&req, &mut env).is_err();
+        assert_eq!(first, again, "same environment, same interleaving, same outcome");
+        // Across environment changes some attempt eventually succeeds.
+        let mut survived = false;
+        for _ in 0..20 {
+            env.advance(Duration::from_millis(100));
+            if db.handle(&req, &mut env).is_ok() {
+                survived = true;
+                break;
+            }
+        }
+        assert!(survived, "the race window is not total");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        run(&mut db, &mut env, "INSERT INTO t VALUES (1, 10)").unwrap();
+        let snap = db.snapshot();
+        run(&mut db, &mut env, "INSERT INTO t VALUES (2, 20)").unwrap();
+        db.restore(&snap);
+        let count = run(&mut db, &mut env, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(count, Response::Ok("1".into()));
+    }
+
+    #[test]
+    fn deep_parentheses_denied_when_healthy_crash_with_bug() {
+        let (mut env, mut db) = setup();
+        db.inject("mysql-ei-18", &mut env).unwrap();
+        let deep = db.trigger_request("mysql-ei-18").unwrap();
+        assert!(db.handle(&deep, &mut env).is_err());
+        // Shallow nesting parses normally even with the bug present.
+        run(&mut db, &mut env, "CREATE TABLE t2 (k, v)").unwrap();
+        assert!(run(&mut db, &mut env, "SELECT * FROM t2 WHERE k = 1").unwrap().is_ok());
+        // Healthy build: deep nesting is a graceful error.
+        let mut env2 = Environment::builder().seed(1).build();
+        let mut healthy = MiniDb::new(&mut env2);
+        let resp = healthy.handle(&deep, &mut env2).unwrap();
+        assert!(!resp.is_ok());
+    }
+
+    #[test]
+    fn wide_create_table_denied_when_healthy_crash_with_bug() {
+        let (mut env, mut db) = setup();
+        let wide = MiniDb::new(&mut Environment::builder().seed(2).build())
+            .trigger_request("mysql-ei-24")
+            .unwrap();
+        let resp = db.handle(&wide, &mut env).unwrap();
+        assert!(!resp.is_ok(), "healthy: too many columns denied");
+        db.inject("mysql-ei-24", &mut env).unwrap();
+        assert!(db.handle(&wide, &mut env).is_err());
+    }
+
+    #[test]
+    fn every_corpus_mysql_slug_has_a_trigger() {
+        let (_, db) = setup();
+        for f in faultstudy_corpus::corpus_for(faultstudy_core::taxonomy::AppKind::Mysql) {
+            assert!(db.trigger_request(f.slug()).is_some(), "{}", f.slug());
+        }
+        assert!(db.trigger_request("apache-ei-01").is_none());
+    }
+
+    #[test]
+    fn lock_unlock_flush_are_benign_without_bug() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        assert!(run(&mut db, &mut env, "LOCK TABLES t").unwrap().is_ok());
+        assert!(run(&mut db, &mut env, "FLUSH TABLES").unwrap().is_ok());
+        assert!(run(&mut db, &mut env, "UNLOCK TABLES").unwrap().is_ok());
+    }
+}

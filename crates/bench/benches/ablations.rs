@@ -1,0 +1,85 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! E11 checkpoint interval (rollback-recovery replay work vs interval),
+//! E12 perturbation (progressive retry vs plain restart on races),
+//! E13 rejuvenation period vs leak-driven failures, and
+//! E10 the Lee–Iyer reconciliation arithmetic. The sweep logic lives in
+//! `faultstudy_harness::ablation` and is shared with `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultstudy_bench::print_once;
+use faultstudy_harness::ablation::{
+    sweep_checkpoint_interval, sweep_perturbation, sweep_rejuvenation,
+};
+use faultstudy_report::TandemReconciliation;
+use std::hint::black_box;
+
+fn bench_checkpoint_interval(c: &mut Criterion) {
+    let mut table = String::from("interval | survived | replayed messages\n");
+    for p in sweep_checkpoint_interval(&[1, 2, 4, 8, 16], 11) {
+        table.push_str(&format!("{:>8} | {:>8} | {:>17}\n", p.interval, p.survived, p.replayed));
+    }
+    print_once("E11 checkpoint-interval ablation", &table);
+
+    let mut group = c.benchmark_group("ablate_checkpoint_interval");
+    for k in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(sweep_checkpoint_interval(&[k], 11)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_perturbation(c: &mut Criterion) {
+    let mut table = String::from("retries | unchanged-env survived | perturbed survived\n");
+    for p in sweep_perturbation(&[1, 2, 3, 5], 64) {
+        table.push_str(&format!(
+            "{:>7} | {:>11}/{} | {:>15}/{}\n",
+            p.retries, p.instant_survived, p.seeds, p.progressive_survived, p.seeds
+        ));
+    }
+    print_once("E12 perturbation ablation", &table);
+
+    let mut group = c.benchmark_group("ablate_perturbation");
+    group.sample_size(10);
+    for retries in [1u32, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(retries), &retries, |b, &retries| {
+            b.iter(|| black_box(sweep_perturbation(&[retries], 16)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rejuvenation(c: &mut Criterion) {
+    let mut table = String::from("period | survived | failures observed\n");
+    for p in sweep_rejuvenation(&[1, 2, 3, 4, 8], 13) {
+        table.push_str(&format!("{:>6} | {:>8} | {:>17}\n", p.period, p.survived, p.failures));
+    }
+    print_once("E13 rejuvenation-period ablation", &table);
+
+    let mut group = c.benchmark_group("ablate_rejuvenation");
+    for period in [1u32, 2, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &period| {
+            b.iter(|| black_box(sweep_rejuvenation(&[period], 13)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lee_iyer(c: &mut Criterion) {
+    print_once("E10 Lee-Iyer reconciliation", &TandemReconciliation::default().to_string());
+    c.bench_function("lee_iyer", |b| {
+        b.iter(|| {
+            let r = TandemReconciliation::default();
+            black_box((r.pure_generic_transient(), r.inflation_factor()))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checkpoint_interval,
+    bench_perturbation,
+    bench_rejuvenation,
+    bench_lee_iyer
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks regenerating Figures 1–3 and their shape properties (E4–E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultstudy_bench::print_once;
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_core::timeline::{by_month, by_release, ei_shares, max_deviation, totals_grow};
+use faultstudy_corpus::paper_study;
+use faultstudy_report::{render_release_figure, render_time_figure};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let study = paper_study();
+    let mut all = String::new();
+    all.push_str(&render_release_figure(&by_release(&study, AppKind::Apache)));
+    all.push('\n');
+    all.push_str(&render_time_figure(&by_month(&study, AppKind::Gnome)));
+    all.push('\n');
+    all.push_str(&render_release_figure(&by_release(&study, AppKind::Mysql)));
+    print_once("figures 1-3", &all);
+
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig1_apache_releases", |b| {
+        b.iter(|| {
+            let series = by_release(black_box(&study), AppKind::Apache);
+            black_box(render_release_figure(&series))
+        });
+    });
+    group.bench_function("fig2_gnome_time", |b| {
+        b.iter(|| {
+            let series = by_month(black_box(&study), AppKind::Gnome);
+            black_box(render_time_figure(&series))
+        });
+    });
+    group.bench_function("fig3_mysql_releases", |b| {
+        b.iter(|| {
+            let series = by_release(black_box(&study), AppKind::Mysql);
+            black_box(render_release_figure(&series))
+        });
+    });
+    group.bench_function("shape_properties", |b| {
+        let series = by_release(&study, AppKind::Apache);
+        let counts: Vec<_> = series.buckets.iter().map(|b| b.counts).collect();
+        b.iter(|| {
+            let shares = ei_shares(black_box(counts.clone()), 3);
+            black_box((max_deviation(&shares), totals_grow(&counts)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks of the §4 selection funnels (E8): archive generation,
+//! keyword search throughput, and the full per-application pipelines at
+//! paper scale (5220 / 500 / 44,000 raw entries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultstudy_bench::print_once;
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_corpus::{PopulationSpec, SyntheticPopulation};
+use faultstudy_harness::paper_scale_funnels;
+use faultstudy_mining::{Archive, KeywordQuery, SelectionPipeline};
+use std::hint::black_box;
+
+fn bench_funnels(c: &mut Criterion) {
+    let mut shown = String::new();
+    for run in paper_scale_funnels(2000) {
+        shown.push_str(&format!("{}\n  {}\n", run.outcome, run.quality));
+    }
+    print_once("section 4 funnels", &shown);
+
+    let mut group = c.benchmark_group("mining_funnel");
+    group.sample_size(10);
+    for app in AppKind::ALL {
+        let population = SyntheticPopulation::generate(&PopulationSpec::paper_scale(app, 2000));
+        let archive = Archive::new(app, population.reports.clone());
+        let pipeline = SelectionPipeline::for_app(app);
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &archive, |b, archive| {
+            b.iter(|| black_box(pipeline.run(black_box(archive))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation_and_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive");
+    group.sample_size(10);
+    group.bench_function("generate_mysql_44k", |b| {
+        let spec = PopulationSpec::paper_scale(AppKind::Mysql, 7);
+        b.iter(|| black_box(SyntheticPopulation::generate(black_box(&spec))));
+    });
+
+    let population = SyntheticPopulation::generate(&PopulationSpec::paper_scale(AppKind::Mysql, 7));
+    let query = KeywordQuery::mysql();
+    group.bench_function("keyword_search_44k", |b| {
+        b.iter(|| {
+            let hits = population.reports.iter().filter(|r| query.matches(r)).count();
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_funnels, bench_generation_and_search);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks of the end-to-end recovery experiment (E9): single-fault
+//! experiments per class and the full 139-fault × 7-strategy matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultstudy_bench::print_once;
+use faultstudy_corpus::find;
+use faultstudy_harness::experiment::{run_fault_experiment, StrategyKind};
+use faultstudy_harness::RecoveryMatrix;
+use std::hint::black_box;
+
+fn bench_single_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_experiment");
+    let cases = [
+        ("ei_count_empty", "mysql-ei-03"),
+        ("edn_leak", "apache-edn-01"),
+        ("edt_proc_table", "apache-edt-02"),
+        ("edt_race", "mysql-edt-01"),
+    ];
+    for (label, slug) in cases {
+        let fault = find(slug).expect("slug exists");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fault, |b, fault| {
+            b.iter(|| black_box(run_fault_experiment(fault, StrategyKind::Restart, 2000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    print_once("recovery matrix", &RecoveryMatrix::run(2000).to_string());
+
+    let mut group = c.benchmark_group("recovery_matrix");
+    group.sample_size(10);
+    group.bench_function("full_139x7", |b| {
+        b.iter(|| black_box(RecoveryMatrix::run(black_box(2000))));
+    });
+    for strategy in [StrategyKind::Restart, StrategyKind::AppSpecific] {
+        group.bench_with_input(
+            BenchmarkId::new("one_strategy", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| black_box(RecoveryMatrix::run_strategies(2000, &[strategy])));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_experiments, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks regenerating Tables 1–3 and the §5.4 aggregate (E1–E3, E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultstudy_bench::print_once;
+use faultstudy_core::study::Study;
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_corpus::{corpus_for, full_corpus, paper_study};
+use faultstudy_report::{render_discussion, render_table};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let study = paper_study();
+    let mut all = String::new();
+    for app in AppKind::ALL {
+        all.push_str(&render_table(&study, app));
+        all.push('\n');
+    }
+    print_once("tables 1-3", &all);
+
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_apache", |b| {
+        let faults: Vec<_> = corpus_for(AppKind::Apache).iter().map(|f| f.as_classified()).collect();
+        b.iter(|| {
+            let study = Study::from_faults(black_box(faults.clone()));
+            black_box(render_table(&study, AppKind::Apache))
+        });
+    });
+    group.bench_function("table2_gnome", |b| {
+        let faults: Vec<_> = corpus_for(AppKind::Gnome).iter().map(|f| f.as_classified()).collect();
+        b.iter(|| {
+            let study = Study::from_faults(black_box(faults.clone()));
+            black_box(render_table(&study, AppKind::Gnome))
+        });
+    });
+    group.bench_function("table3_mysql", |b| {
+        let faults: Vec<_> = corpus_for(AppKind::Mysql).iter().map(|f| f.as_classified()).collect();
+        b.iter(|| {
+            let study = Study::from_faults(black_box(faults.clone()));
+            black_box(render_table(&study, AppKind::Mysql))
+        });
+    });
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    print_once("section 5.4 discussion", &render_discussion(&paper_study().discussion()));
+    c.bench_function("aggregate_study", |b| {
+        let faults: Vec<_> = full_corpus().iter().map(|f| f.as_classified()).collect();
+        b.iter(|| {
+            let study = Study::from_faults(black_box(faults.clone()));
+            black_box(study.discussion())
+        });
+    });
+    c.bench_function("corpus_construction", |b| {
+        b.iter(|| black_box(full_corpus()));
+    });
+}
+
+criterion_group!(benches, bench_tables, bench_aggregate);
+criterion_main!(benches);

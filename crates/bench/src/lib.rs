@@ -1,0 +1,24 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each bench target regenerates one of the paper's artifacts (a table, a
+//! figure, a funnel, the recovery matrix) and measures the cost of doing
+//! so; the ablation target sweeps the design parameters called out in
+//! `DESIGN.md` (checkpoint interval, perturbation, rejuvenation period).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+static PRINTED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Prints a reproduced artifact once per bench process per tag, so
+/// `cargo bench` output doubles as the regenerated rows/series.
+pub fn print_once(tag: &'static str, artifact: &str) {
+    let mut printed = PRINTED.lock().expect("print lock");
+    if printed.insert(tag) {
+        println!("\n===== reproduced artifact: {tag} =====");
+        println!("{artifact}");
+        println!("=====================================\n");
+    }
+}

@@ -1,0 +1,351 @@
+//! Synthetic bug-archive populations with known ground truth.
+//!
+//! The paper's §4 funnels start from raw archives — 5220 Apache tracker
+//! reports, roughly 500 GNOME reports, about 44,000 MySQL mailing-list
+//! messages — and narrow them to the studied fault sets. The original
+//! archives are long gone, so this module grows a synthetic population
+//! around the curated corpus: every curated fault appears as a "primary"
+//! report (optionally with duplicates), buried in realistic noise —
+//! build/install problems, feature requests, questions, low-impact bugs,
+//! and crashes reported against beta versions. Because the generator
+//! remembers which report ids correspond to which curated fault, the
+//! mining pipeline's precision and recall can be measured exactly — an
+//! end-to-end check the paper itself could not perform on its sources.
+
+use crate::{corpus_for, CuratedFault};
+use faultstudy_core::report::{BugReport, ReportSource, Status, YearMonth};
+use faultstudy_core::taxonomy::{AppKind, Severity};
+use faultstudy_sim::rng::{DetRng, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Symptom phrases attached to serious reports. These carry the §4 search
+/// keywords ("crash", "segmentation", "race", "died") the way real
+/// mailing-list posts did.
+const SYMPTOM_LINES: &[&str] = &[
+    "the server crashed and had to be restarted by hand",
+    "it died with a segmentation fault",
+    "the process died without any message in the log",
+    "crash is accompanied by a core file",
+    // Mentions the "race" keyword colloquially without asserting a race
+    // condition, so the §4 search finds it but evidence extraction does
+    // not mistake it for a named trigger.
+    "could this be a race? it crashed shortly after startup",
+];
+
+/// Noise categories the §4 funnel must reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NoiseKind {
+    BuildProblem,
+    InstallProblem,
+    FeatureRequest,
+    Question,
+    DocIssue,
+    LowImpactBug,
+    BetaCrash,
+}
+
+/// Configuration for one synthetic archive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Application whose curated faults are embedded.
+    pub app: AppKind,
+    /// Total number of reports/messages to generate (must be at least the
+    /// number of curated faults for the app).
+    pub archive_size: usize,
+    /// Maximum duplicates generated per curated fault (actual count drawn
+    /// uniformly from `0..=max`).
+    pub max_duplicates_per_fault: u32,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl PopulationSpec {
+    /// The archive sizes of §4, per application: Apache 5220 tracker
+    /// reports, GNOME 500 reports, MySQL 44,000 mailing-list messages.
+    pub fn paper_scale(app: AppKind, seed: u64) -> PopulationSpec {
+        let archive_size = match app {
+            AppKind::Apache => 5220,
+            AppKind::Gnome => 500,
+            AppKind::Mysql => 44_000,
+        };
+        PopulationSpec { app, archive_size, max_duplicates_per_fault: 3, seed }
+    }
+}
+
+/// A generated archive plus its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntheticPopulation {
+    /// All reports, in randomized archive order.
+    pub reports: Vec<BugReport>,
+    /// Map from report id to the slug of the curated fault it describes.
+    /// Primaries and duplicates both appear; noise reports do not.
+    pub ground_truth: BTreeMap<u64, String>,
+}
+
+impl SyntheticPopulation {
+    /// Generates the population for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.archive_size` cannot hold the app's curated faults.
+    pub fn generate(spec: &PopulationSpec) -> SyntheticPopulation {
+        let faults = corpus_for(spec.app);
+        assert!(
+            spec.archive_size >= faults.len(),
+            "archive_size {} cannot hold the {} curated faults",
+            spec.archive_size,
+            faults.len()
+        );
+        let mut rng = Xoshiro256StarStar::seed_from(spec.seed);
+        let mut reports: Vec<BugReport> = Vec::with_capacity(spec.archive_size);
+        let mut ground_truth = BTreeMap::new();
+        let mut next_id: u64 = 1;
+        let take_id = |n: &mut u64| {
+            let id = *n;
+            *n += 1;
+            id
+        };
+
+        // Primaries.
+        let mut primary_ids = Vec::with_capacity(faults.len());
+        for f in &faults {
+            let id = take_id(&mut next_id);
+            reports.push(decorate_primary(f, id, &mut rng));
+            ground_truth.insert(id, f.slug().to_owned());
+            primary_ids.push(id);
+        }
+
+        // Duplicates, budget permitting.
+        if spec.max_duplicates_per_fault > 0 {
+            for (f, &primary) in faults.iter().zip(&primary_ids) {
+                let dups = rng.below(u64::from(spec.max_duplicates_per_fault) + 1) as u32;
+                for _ in 0..dups {
+                    if reports.len() >= spec.archive_size {
+                        break;
+                    }
+                    let id = take_id(&mut next_id);
+                    let mut dup = decorate_primary(f, id, &mut rng);
+                    dup.duplicate_of = Some(primary);
+                    dup.title = format!("(again) {}", f.title());
+                    reports.push(dup);
+                    ground_truth.insert(id, f.slug().to_owned());
+                }
+            }
+        }
+
+        // Noise to fill the archive. Serious-sounding noise (questions
+        // about crashes, beta crashes) is rare — in the real MySQL archive
+        // only "a few hundred" of 44,000 messages matched the §4 keywords.
+        while reports.len() < spec.archive_size {
+            let id = take_id(&mut next_id);
+            let kind = match rng.below(1000) {
+                0..=7 => NoiseKind::BetaCrash,
+                8..=15 => NoiseKind::Question,
+                _ => *rng
+                    .pick(&[
+                        NoiseKind::BuildProblem,
+                        NoiseKind::InstallProblem,
+                        NoiseKind::FeatureRequest,
+                        NoiseKind::DocIssue,
+                        NoiseKind::LowImpactBug,
+                    ])
+                    .expect("nonempty"),
+            };
+            reports.push(noise_report(spec.app, id, kind, &mut rng));
+        }
+
+        rng.shuffle(&mut reports);
+        SyntheticPopulation { reports, ground_truth }
+    }
+
+    /// Number of reports describing real (curated) faults, duplicates
+    /// included.
+    pub fn true_report_count(&self) -> usize {
+        self.ground_truth.len()
+    }
+}
+
+fn source_for(app: AppKind) -> ReportSource {
+    match app {
+        AppKind::Apache => ReportSource::Tracker,
+        AppKind::Gnome => ReportSource::Debbugs,
+        AppKind::Mysql => ReportSource::MailingList,
+    }
+}
+
+/// A primary report for a curated fault: the synthesized corpus report plus
+/// a symptom line carrying a §4 search keyword.
+fn decorate_primary(f: &CuratedFault, id: u64, rng: &mut Xoshiro256StarStar) -> BugReport {
+    let mut r = f.report(id);
+    let symptom = *rng.pick(SYMPTOM_LINES).expect("nonempty");
+    r.body = format!("{} {symptom}.", r.body);
+    r
+}
+
+fn noise_report(
+    app: AppKind,
+    id: u64,
+    kind: NoiseKind,
+    rng: &mut Xoshiro256StarStar,
+) -> BugReport {
+    let filed = YearMonth::new(1998, 1).plus_months(rng.below(22) as u32);
+    let b = BugReport::builder(app, id).filed(filed).source(source_for(app));
+    match kind {
+        NoiseKind::BuildProblem => b
+            .title(format!("build fails on platform variant {}", id % 17))
+            .body("make stops with an undefined symbol during linking.")
+            .severity(Severity::Major)
+            .status(Status::Closed)
+            .version("source tree", true)
+            .build(),
+        NoiseKind::InstallProblem => b
+            .title(format!("installer cannot find prefix {}", id % 13))
+            .body("configure script mis-detects the system libraries.")
+            .severity(Severity::Minor)
+            .version("source tree", true)
+            .build(),
+        NoiseKind::FeatureRequest => b
+            .title(format!("please add an option for behaviour {}", id % 23))
+            .body("it would be convenient if the next version supported this.")
+            .severity(Severity::Trivial)
+            .build(),
+        NoiseKind::Question => b
+            // Questions often mention the serious keywords without being
+            // study faults — the funnel must reject them on severity.
+            .title("question: how do I read a core file after a crash?")
+            .body("the documentation does not say what to do when it crashed.")
+            .severity(Severity::Minor)
+            .status(Status::Closed)
+            .build(),
+        NoiseKind::DocIssue => b
+            .title(format!("manual section {} has a typo", id % 31))
+            .body("small wording problem, nothing functional.")
+            .severity(Severity::Trivial)
+            .build(),
+        NoiseKind::LowImpactBug => b
+            .title(format!("cosmetic glitch in output formatting {}", id % 11))
+            .body("alignment is off by one column; output is still correct.")
+            .severity(Severity::Minor)
+            .status(Status::Fixed)
+            .build(),
+        NoiseKind::BetaCrash => b
+            // A real crash, but on a beta: §4 keeps production versions only.
+            .title("development snapshot crashed during testing")
+            .body("the beta died with a segmentation fault while we evaluated it.")
+            .severity(Severity::Critical)
+            .version("2.0-beta", false)
+            .build(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(app: AppKind, size: usize) -> PopulationSpec {
+        PopulationSpec { app, archive_size: size, max_duplicates_per_fault: 2, seed: 42 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticPopulation::generate(&spec(AppKind::Gnome, 300));
+        let b = SyntheticPopulation::generate(&spec(AppKind::Gnome, 300));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticPopulation::generate(&spec(AppKind::Gnome, 300));
+        let mut s = spec(AppKind::Gnome, 300);
+        s.seed = 43;
+        let b = SyntheticPopulation::generate(&s);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn archive_size_and_ground_truth_counts() {
+        let p = SyntheticPopulation::generate(&spec(AppKind::Apache, 600));
+        assert_eq!(p.reports.len(), 600);
+        // 50 primaries plus up to 2 duplicates each.
+        assert!(p.true_report_count() >= 50);
+        assert!(p.true_report_count() <= 150);
+        // Every curated fault has at least its primary.
+        let slugs: std::collections::BTreeSet<&str> =
+            p.ground_truth.values().map(String::as_str).collect();
+        assert_eq!(slugs.len(), 50);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let p = SyntheticPopulation::generate(&spec(AppKind::Mysql, 500));
+        let mut ids: Vec<u64> = p.reports.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 500);
+    }
+
+    #[test]
+    fn primaries_pass_selection_and_carry_keywords() {
+        let p = SyntheticPopulation::generate(&spec(AppKind::Mysql, 200));
+        let keywords = ["crash", "segmentation", "race", "died"];
+        for r in &p.reports {
+            if p.ground_truth.contains_key(&r.id) && r.duplicate_of.is_none() {
+                assert!(r.passes_selection(), "primary {} must survive the funnel", r.id);
+                let text = r.full_text().to_lowercase();
+                assert!(
+                    keywords.iter().any(|k| text.contains(k)),
+                    "primary {} lacks a search keyword: {text}",
+                    r.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_link_to_their_primary() {
+        let p = SyntheticPopulation::generate(&spec(AppKind::Apache, 700));
+        let mut dup_count = 0;
+        for r in &p.reports {
+            if let Some(primary) = r.duplicate_of {
+                dup_count += 1;
+                let primary_slug = p.ground_truth.get(&primary).expect("primary tracked");
+                assert_eq!(p.ground_truth.get(&r.id), Some(primary_slug));
+            }
+        }
+        assert!(dup_count > 0, "seed 42 should produce some duplicates");
+    }
+
+    #[test]
+    fn noise_reports_fail_selection_or_lack_keywords() {
+        // The funnel's correctness on noise: every noise report is either
+        // rejected by selection or never matches the keyword search.
+        let p = SyntheticPopulation::generate(&spec(AppKind::Mysql, 400));
+        let keywords = ["crash", "segmentation", "race", "died"];
+        for r in &p.reports {
+            if !p.ground_truth.contains_key(&r.id) {
+                let text = r.full_text().to_lowercase();
+                let keyword_hit = keywords.iter().any(|k| text.contains(k));
+                assert!(
+                    !r.passes_selection() || !keyword_hit,
+                    "noise report {} would sneak through: {}",
+                    r.id,
+                    r.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_sizes() {
+        assert_eq!(PopulationSpec::paper_scale(AppKind::Apache, 1).archive_size, 5220);
+        assert_eq!(PopulationSpec::paper_scale(AppKind::Gnome, 1).archive_size, 500);
+        assert_eq!(PopulationSpec::paper_scale(AppKind::Mysql, 1).archive_size, 44_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn too_small_archive_rejected() {
+        SyntheticPopulation::generate(&spec(AppKind::Apache, 10));
+    }
+}

@@ -1,0 +1,179 @@
+//! A `/dev/random`-style entropy pool that drains and refills.
+//!
+//! Backs the Apache trigger *"lack of events to generate sufficient random
+//! numbers in /dev/random"* — transient because *"during recovery, it is
+//! likely that more events will be generated for /dev/random"* (§5.1). The
+//! pool accumulates bits at a fixed rate of environmental events per
+//! simulated second and blocks (errors) when a read wants more bits than
+//! are available.
+
+use faultstudy_sim::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a read wants more entropy than the pool holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntropyExhausted {
+    /// Bits requested.
+    pub requested: u64,
+    /// Bits available at the time of the read.
+    pub available: u64,
+}
+
+impl fmt::Display for EntropyExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "entropy pool exhausted: requested {} bits, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for EntropyExhausted {}
+
+/// The kernel entropy pool.
+///
+/// Refill is computed lazily from the timestamp of each operation, so the
+/// pool needs no tick hook: simply calling [`EntropyPool::read`] later in
+/// simulated time observes the accumulated bits.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_env::entropy::EntropyPool;
+/// use faultstudy_sim::time::SimTime;
+///
+/// let mut pool = EntropyPool::new(128, 64, SimTime::ZERO); // 64 bits/sec
+/// pool.read(128, SimTime::ZERO).unwrap();                  // drained
+/// assert!(pool.read(128, SimTime::ZERO).is_err());
+/// assert!(pool.read(128, SimTime::from_secs(2)).is_ok());  // refilled
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntropyPool {
+    capacity_bits: u64,
+    bits: u64,
+    refill_bits_per_sec: u64,
+    last_update: SimTime,
+}
+
+impl EntropyPool {
+    /// Creates a full pool of `capacity_bits` refilling at
+    /// `refill_bits_per_sec`, with `now` as the reference instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bits` is zero.
+    pub fn new(capacity_bits: u64, refill_bits_per_sec: u64, now: SimTime) -> Self {
+        assert!(capacity_bits > 0, "entropy capacity must be positive");
+        EntropyPool {
+            capacity_bits,
+            bits: capacity_bits,
+            refill_bits_per_sec,
+            last_update: now,
+        }
+    }
+
+    fn settle(&mut self, now: SimTime) {
+        if now > self.last_update {
+            let elapsed = now.saturating_since(self.last_update);
+            let gained = self.refill_bits_per_sec.saturating_mul(elapsed.as_nanos())
+                / Duration::from_secs(1).as_nanos();
+            self.bits = (self.bits + gained).min(self.capacity_bits);
+            self.last_update = now;
+        }
+    }
+
+    /// Bits available at `now`.
+    pub fn available_at(&mut self, now: SimTime) -> u64 {
+        self.settle(now);
+        self.bits
+    }
+
+    /// Whether the pool is empty at `now`.
+    pub fn is_exhausted_at(&mut self, now: SimTime) -> bool {
+        self.available_at(now) == 0
+    }
+
+    /// Reads `bits` of entropy at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`EntropyExhausted`] if fewer than `bits` are available; nothing is
+    /// consumed on failure (the caller "blocks", i.e. fails, like a
+    /// non-blocking read of `/dev/random`).
+    pub fn read(&mut self, bits: u64, now: SimTime) -> Result<(), EntropyExhausted> {
+        self.settle(now);
+        if bits > self.bits {
+            return Err(EntropyExhausted { requested: bits, available: self.bits });
+        }
+        self.bits -= bits;
+        Ok(())
+    }
+
+    /// Drains the pool completely at `now` (a competing consumer).
+    pub fn drain(&mut self, now: SimTime) {
+        self.settle(now);
+        self.bits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut p = EntropyPool::new(100, 10, SimTime::ZERO);
+        assert_eq!(p.available_at(SimTime::ZERO), 100);
+        p.read(60, SimTime::ZERO).unwrap();
+        assert_eq!(p.available_at(SimTime::ZERO), 40);
+        p.drain(SimTime::ZERO);
+        assert!(p.is_exhausted_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn failed_read_consumes_nothing() {
+        let mut p = EntropyPool::new(100, 0, SimTime::ZERO);
+        p.read(90, SimTime::ZERO).unwrap();
+        let err = p.read(20, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, EntropyExhausted { requested: 20, available: 10 });
+        assert_eq!(p.available_at(SimTime::ZERO), 10);
+    }
+
+    #[test]
+    fn refills_linearly_and_caps_at_capacity() {
+        let mut p = EntropyPool::new(100, 10, SimTime::ZERO);
+        p.drain(SimTime::ZERO);
+        assert_eq!(p.available_at(SimTime::from_secs(3)), 30);
+        assert_eq!(p.available_at(SimTime::from_secs(1000)), 100, "capped");
+    }
+
+    #[test]
+    fn sub_second_refill_rounds_down() {
+        let mut p = EntropyPool::new(100, 10, SimTime::ZERO);
+        p.drain(SimTime::ZERO);
+        assert_eq!(p.available_at(SimTime::from_millis(1500)), 15);
+    }
+
+    #[test]
+    fn zero_refill_rate_never_recovers() {
+        let mut p = EntropyPool::new(10, 0, SimTime::ZERO);
+        p.drain(SimTime::ZERO);
+        assert!(p.is_exhausted_at(SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn time_does_not_flow_backwards() {
+        let mut p = EntropyPool::new(100, 10, SimTime::from_secs(10));
+        p.drain(SimTime::from_secs(10));
+        // An earlier timestamp neither refills nor panics.
+        assert_eq!(p.available_at(SimTime::from_secs(5)), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EntropyExhausted { requested: 8, available: 3 };
+        assert_eq!(e.to_string(), "entropy pool exhausted: requested 8 bits, 3 available");
+    }
+}

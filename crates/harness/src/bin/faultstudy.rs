@@ -1,0 +1,222 @@
+//! The `faultstudy` CLI: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! faultstudy <command> [--seed N] [--json]
+//!
+//! commands:
+//!   tables     Tables 1-3: per-application fault classification
+//!   figures    Figures 1-3: fault distributions over releases/time
+//!   summary    the §5.4 discussion numbers
+//!   mine       the §4 selection funnels at paper scale
+//!   recover    the end-to-end recovery matrix (§5.4/§8 future work)
+//!   lee-iyer   the §7 reconciliation with \[Lee93\]
+//!   experiments the paper-vs-measured report (EXPERIMENTS.md)
+//!   all        everything above, in order
+//! ```
+
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_core::timeline::{by_month, by_release};
+use faultstudy_corpus::paper_study;
+use faultstudy_harness::{paper_scale_funnels, CampaignReport, CampaignSpec, RecoveryMatrix};
+use faultstudy_report::{
+    render_discussion, render_release_figure, render_table, render_time_figure,
+    TandemReconciliation,
+};
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    json: bool,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|verify|lee-iyer|experiments|all> [--seed N] [--json]");
+        return ExitCode::FAILURE;
+    };
+    let mut opts = Options { seed: 2000, json: false };
+    let mut rest = args;
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--seed" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => {
+                    eprintln!("--seed requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match command.as_str() {
+        "tables" => tables(&opts),
+        "figures" => figures(&opts),
+        "summary" => summary(&opts),
+        "mine" => mine(&opts),
+        "recover" => recover(&opts),
+        "lee-iyer" => lee_iyer(&opts),
+        "experiments" => print!("{}", faultstudy_harness::experiments_markdown(opts.seed)),
+        "campaign" => campaign(&opts),
+        "verify" => return verify(&opts),
+        "all" => {
+            tables(&opts);
+            figures(&opts);
+            summary(&opts);
+            mine(&opts);
+            recover(&opts);
+            lee_iyer(&opts);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn tables(opts: &Options) {
+    let study = paper_study();
+    if opts.json {
+        let per_app: Vec<_> = AppKind::ALL
+            .iter()
+            .map(|&app| {
+                serde_json::json!({
+                    "app": app.name(),
+                    "table": app.table_number(),
+                    "counts": study.table(app),
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&per_app).expect("tables serialize"));
+        return;
+    }
+    for app in AppKind::ALL {
+        println!("{}", render_table(&study, app));
+    }
+}
+
+fn figures(opts: &Options) {
+    let study = paper_study();
+    if opts.json {
+        let value = serde_json::json!({
+            "figure1": by_release(&study, AppKind::Apache),
+            "figure2": by_month(&study, AppKind::Gnome),
+            "figure3": by_release(&study, AppKind::Mysql),
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("figures serialize"));
+        return;
+    }
+    println!("{}", render_release_figure(&by_release(&study, AppKind::Apache)));
+    println!("{}", render_time_figure(&by_month(&study, AppKind::Gnome)));
+    println!("{}", render_release_figure(&by_release(&study, AppKind::Mysql)));
+}
+
+fn summary(opts: &Options) {
+    let discussion = paper_study().discussion();
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&discussion).expect("summary serializes"));
+        return;
+    }
+    println!("{}", render_discussion(&discussion));
+}
+
+fn mine(opts: &Options) {
+    let runs = paper_scale_funnels(opts.seed);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&runs).expect("funnels serialize"));
+        return;
+    }
+    for run in runs {
+        println!("{}", run.outcome);
+        println!("  {}", run.quality);
+    }
+}
+
+fn recover(opts: &Options) {
+    let matrix = RecoveryMatrix::run(opts.seed);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&matrix).expect("matrix serializes"));
+        return;
+    }
+    println!("{matrix}");
+}
+
+/// CI-style self-check: re-runs the headline experiments and exits
+/// non-zero if any of the paper's guarantees fails to reproduce.
+fn verify(opts: &Options) -> ExitCode {
+    use faultstudy_core::taxonomy::FaultClass;
+    use faultstudy_harness::StrategyKind;
+    let mut problems: Vec<String> = Vec::new();
+
+    let study = paper_study();
+    if study.total() != 139 {
+        problems.push(format!("corpus has {} faults, expected 139", study.total()));
+    }
+    let matrix = RecoveryMatrix::run(opts.seed);
+    for strategy in StrategyKind::ALL {
+        let ei = matrix.cell(FaultClass::EnvironmentIndependent, strategy);
+        if ei.survived != 0 {
+            problems.push(format!("{} survived {} EI faults", strategy.name(), ei.survived));
+        }
+        if strategy.is_generic() {
+            let edn = matrix.cell(FaultClass::EnvDependentNonTransient, strategy);
+            if edn.survived != 0 {
+                problems.push(format!("{} survived {} EDN faults", strategy.name(), edn.survived));
+            }
+        }
+    }
+    let restart_pct = matrix.overall(StrategyKind::Restart).rate() * 100.0;
+    if !(5.0..=14.0).contains(&restart_pct) {
+        problems.push(format!("restart overall {restart_pct:.1}% outside the 5-14% band"));
+    }
+    let report = CampaignReport::run(CampaignSpec { samples: 200, seed: opts.seed });
+    if !report.anomalies.is_empty() {
+        problems.push(format!("campaign anomalies: {:?}", report.anomalies));
+    }
+    for run in paper_scale_funnels(opts.seed) {
+        let expected = match run.outcome.app {
+            AppKind::Apache => 50,
+            AppKind::Gnome => 45,
+            AppKind::Mysql => 44,
+        };
+        if run.outcome.unique_bugs() != expected {
+            problems.push(format!(
+                "{} funnel selected {} unique bugs, expected {expected}",
+                run.outcome.app,
+                run.outcome.unique_bugs()
+            ));
+        }
+    }
+    if problems.is_empty() {
+        println!("verify: all guarantees reproduced at seed {}", opts.seed);
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("verify: FAILED: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn campaign(opts: &Options) {
+    let report = CampaignReport::run(CampaignSpec { samples: 500, seed: opts.seed });
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("campaign serializes"));
+        return;
+    }
+    println!("{report}");
+}
+
+fn lee_iyer(opts: &Options) {
+    let r = TandemReconciliation::default();
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&r).expect("reconciliation serializes"));
+        return;
+    }
+    println!("{r}");
+}

@@ -1,0 +1,179 @@
+//! Randomized fault-injection campaigns.
+//!
+//! A [`RecoveryMatrix`](crate::RecoveryMatrix) answers "what happens at one
+//! seed"; a campaign samples many `(fault, strategy, seed)` triples and
+//! checks that the thesis holds in distribution — the fixed-seed analogue
+//! of re-running the paper's study on other archives. Transient faults are
+//! the only stochastic cell (races depend on the drawn interleavings), so
+//! the campaign reports their survival rate with its spread.
+
+use crate::experiment::{run_fault_experiment, StrategyKind};
+use faultstudy_core::taxonomy::FaultClass;
+use faultstudy_corpus::full_corpus;
+use faultstudy_sim::rng::{DetRng, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One (class, strategy) cell of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Fault class of the sampled faults.
+    pub class: FaultClass,
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Samples that survived.
+    pub survived: u32,
+    /// Samples drawn.
+    pub total: u32,
+}
+
+/// Configuration of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Number of `(fault, strategy, seed)` samples to draw.
+    pub samples: u32,
+    /// Master seed; the campaign is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec { samples: 500, seed: 1 }
+    }
+}
+
+/// Aggregate of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The spec that produced this report.
+    pub spec: CampaignSpec,
+    /// Per (class, strategy) sample counts, in `(class, strategy)` order.
+    pub cells: Vec<CampaignCell>,
+    /// Violations of the deterministic guarantees (environment-independent
+    /// or generic-vs-nontransient survivals); must be empty.
+    pub anomalies: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Runs the campaign.
+    pub fn run(spec: CampaignSpec) -> CampaignReport {
+        let corpus = full_corpus();
+        let mut rng = Xoshiro256StarStar::seed_from(spec.seed);
+        let mut cells: BTreeMap<(FaultClass, StrategyKind), (u32, u32)> = BTreeMap::new();
+        let mut anomalies = Vec::new();
+        for _ in 0..spec.samples {
+            let fault = &corpus[rng.below(corpus.len() as u64) as usize];
+            let strategy = StrategyKind::ALL[rng.below(StrategyKind::ALL.len() as u64) as usize];
+            let env_seed = rng.next_u64();
+            let out = run_fault_experiment(fault, strategy, env_seed);
+            let cell = cells.entry((out.class, strategy)).or_insert((0, 0));
+            cell.1 += 1;
+            if out.survived {
+                cell.0 += 1;
+                // The deterministic guarantees of the taxonomy.
+                let violates = out.class == FaultClass::EnvironmentIndependent
+                    || (out.class == FaultClass::EnvDependentNonTransient
+                        && strategy.is_generic());
+                if violates {
+                    anomalies.push(format!(
+                        "{} survived {} at seed {env_seed}",
+                        out.slug,
+                        strategy.name()
+                    ));
+                }
+            }
+        }
+        let cells = cells
+            .into_iter()
+            .map(|((class, strategy), (survived, total))| CampaignCell {
+                class,
+                strategy,
+                survived,
+                total,
+            })
+            .collect();
+        CampaignReport { spec, cells, anomalies }
+    }
+
+    /// Survival rate of transient faults under `strategy` over the
+    /// sampled seeds, with the sample count: `(rate, n)`.
+    pub fn transient_rate(&self, strategy: StrategyKind) -> (f64, u32) {
+        match self
+            .cells
+            .iter()
+            .find(|c| c.class == FaultClass::EnvDependentTransient && c.strategy == strategy)
+        {
+            Some(c) if c.total > 0 => (f64::from(c.survived) / f64::from(c.total), c.total),
+            _ => (0.0, 0),
+        }
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Campaign: {} samples from master seed {}",
+            self.spec.samples, self.spec.seed
+        )?;
+        for cell in &self.cells {
+            writeln!(
+                f,
+                "  {:<36} {:<14} {}/{}",
+                cell.class.label(),
+                cell.strategy.name(),
+                cell.survived,
+                cell.total
+            )?;
+        }
+        if self.anomalies.is_empty() {
+            writeln!(f, "  no anomalies: the deterministic guarantees held on every sample")
+        } else {
+            writeln!(f, "  ANOMALIES: {:?}", self.anomalies)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_upholds_the_deterministic_guarantees() {
+        let report = CampaignReport::run(CampaignSpec { samples: 300, seed: 42 });
+        assert!(report.anomalies.is_empty(), "{:?}", report.anomalies);
+        // Every cell's survived <= total.
+        for cell in &report.cells {
+            assert!(cell.survived <= cell.total, "{} {}", cell.class, cell.strategy);
+        }
+        let total: u32 = report.cells.iter().map(|c| c.total).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn transient_survival_is_high_under_retry_strategies() {
+        let report = CampaignReport::run(CampaignSpec { samples: 600, seed: 9 });
+        for strategy in [StrategyKind::Restart, StrategyKind::Progressive] {
+            let (rate, n) = report.transient_rate(strategy);
+            assert!(n > 0, "{strategy}: no transient samples drawn");
+            assert!(rate >= 0.8, "{strategy}: transient rate {rate:.2} over {n}");
+        }
+        let (none_rate, _) = report.transient_rate(StrategyKind::None);
+        assert_eq!(none_rate, 0.0, "no recovery, no survival");
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let spec = CampaignSpec { samples: 50, seed: 7 };
+        assert_eq!(CampaignReport::run(spec), CampaignReport::run(spec));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let report = CampaignReport::run(CampaignSpec { samples: 30, seed: 3 });
+        let text = report.to_string();
+        assert!(text.contains("30 samples"));
+        assert!(text.contains("no anomalies"));
+    }
+}

@@ -1,0 +1,316 @@
+//! One fault-injection experiment: inject a corpus fault into its
+//! application, drive the triggering workload under a recovery strategy,
+//! and record whether the work survived.
+
+use faultstudy_apps::{spawn_app, Request};
+use faultstudy_core::taxonomy::FaultClass;
+use faultstudy_corpus::CuratedFault;
+use faultstudy_env::Environment;
+use faultstudy_recovery::{
+    run_workload, AppSpecific, NoRecovery, ProcessPair, ProgressiveRetry, RecoveryStrategy,
+    Rejuvenation, RestartRetry, RollbackRecovery,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The recovery strategies the matrix compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// No recovery: first failure is fatal (baseline).
+    None,
+    /// Generic restart + retry from the last checkpoint.
+    Restart,
+    /// Process pairs: mirrored state, fast failover \[Gray86\].
+    ProcessPair,
+    /// Checkpoint every N requests + message-log replay \[Elnozahy99\].
+    Rollback,
+    /// Progressive retry with environment perturbation \[Wang93\].
+    Progressive,
+    /// Proactive software rejuvenation \[Huang95\].
+    Rejuvenation,
+    /// The application-specific comparator (§2).
+    AppSpecific,
+}
+
+impl StrategyKind {
+    /// Every strategy, baseline first.
+    pub const ALL: [StrategyKind; 7] = [
+        StrategyKind::None,
+        StrategyKind::Restart,
+        StrategyKind::ProcessPair,
+        StrategyKind::Rollback,
+        StrategyKind::Progressive,
+        StrategyKind::Rejuvenation,
+        StrategyKind::AppSpecific,
+    ];
+
+    /// Short identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::None => "none",
+            StrategyKind::Restart => "restart",
+            StrategyKind::ProcessPair => "process-pair",
+            StrategyKind::Rollback => "rollback",
+            StrategyKind::Progressive => "progressive",
+            StrategyKind::Rejuvenation => "rejuvenation",
+            StrategyKind::AppSpecific => "app-specific",
+        }
+    }
+
+    /// Whether the strategy is application-generic in the paper's sense.
+    pub fn is_generic(self) -> bool {
+        !matches!(self, StrategyKind::Rejuvenation | StrategyKind::AppSpecific)
+    }
+
+    /// Instantiates the strategy with the harness's standard budgets.
+    pub fn build(self) -> Box<dyn RecoveryStrategy> {
+        match self {
+            StrategyKind::None => Box::new(NoRecovery),
+            StrategyKind::Restart => Box::new(RestartRetry::new(3)),
+            StrategyKind::ProcessPair => Box::new(ProcessPair::new(3)),
+            StrategyKind::Rollback => Box::new(RollbackRecovery::new(2, 3)),
+            StrategyKind::Progressive => Box::new(ProgressiveRetry::new(5)),
+            StrategyKind::Rejuvenation => Box::new(Rejuvenation::new(2, 3)),
+            StrategyKind::AppSpecific => Box::new(AppSpecific::new(3)),
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The outcome of one (fault, strategy) experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// Corpus slug of the injected fault.
+    pub slug: String,
+    /// The fault's class per the corpus.
+    pub class: FaultClass,
+    /// The strategy under test.
+    pub strategy: StrategyKind,
+    /// Whether the full triggering workload was eventually served.
+    pub survived: bool,
+    /// Fault manifestations observed.
+    pub failures: u32,
+    /// Recovery actions performed.
+    pub recoveries: u32,
+}
+
+/// Builds the triggering workload for a fault: warm-up, the trigger
+/// repeated as its How-To-Repeat demands, and a trailing request proving
+/// continued service.
+fn workload_for(fault: &CuratedFault, benign: Request, trigger: Request) -> Vec<Request> {
+    // The resource-leak fault manifests under sustained load (§5.1 "high
+    // load"): its trigger must be repeated past the leak threshold.
+    let trigger_reps = if fault.slug() == "apache-edn-01" { 3 } else { 1 };
+    let mut workload = vec![benign.clone(), benign.clone()];
+    for _ in 0..trigger_reps {
+        workload.push(trigger.clone());
+    }
+    workload.push(benign);
+    workload
+}
+
+/// Runs one fault under one strategy with the given environment seed.
+///
+/// The environment is built fresh, the application spawned and injected,
+/// and the triggering workload driven by the supervisor. Everything is a
+/// pure function of `(fault, strategy, seed)`.
+pub fn run_fault_experiment(
+    fault: &CuratedFault,
+    strategy: StrategyKind,
+    seed: u64,
+) -> FaultOutcome {
+    let mut env = Environment::builder()
+        .seed(seed)
+        .fd_limit(16)
+        .proc_slots(8)
+        .fs_capacity(256 * 1024)
+        .max_file_size(64 * 1024)
+        .build();
+    let mut app = spawn_app(fault.app(), &mut env);
+    app.inject(fault.slug(), &mut env)
+        .expect("every corpus fault is injectable into its application");
+    let benign = app.benign_request();
+    let trigger = app
+        .trigger_request(fault.slug())
+        .expect("every corpus fault has a triggering request");
+    let workload = workload_for(fault, benign, trigger);
+    let mut strat = strategy.build();
+    let run = run_workload(app.as_mut(), &mut env, &workload, strat.as_mut());
+    FaultOutcome {
+        slug: fault.slug().to_owned(),
+        class: fault.class(),
+        strategy,
+        survived: run.survived,
+        failures: run.failures,
+        recoveries: run.recoveries,
+    }
+}
+
+/// Runs several co-resident faults of the *same application* under one
+/// strategy: the workload triggers each fault in corpus order.
+///
+/// Released software carries many latent defects at once (§4: "every piece
+/// of software goes through a huge number of bugs over its lifetime");
+/// this extension measures whether recovery from one fault is undone by
+/// the next. The survival rule composes naturally: the workload survives
+/// iff every constituent trigger is eventually served.
+///
+/// # Panics
+///
+/// Panics if the faults span different applications or the list is empty.
+pub fn run_multi_fault_experiment(
+    faults: &[&CuratedFault],
+    strategy: StrategyKind,
+    seed: u64,
+) -> FaultOutcome {
+    let first = faults.first().expect("at least one fault");
+    assert!(
+        faults.iter().all(|f| f.app() == first.app()),
+        "multi-fault experiments are per-application"
+    );
+    let mut env = Environment::builder()
+        .seed(seed)
+        .fd_limit(16)
+        .proc_slots(8)
+        .fs_capacity(256 * 1024)
+        .max_file_size(64 * 1024)
+        .build();
+    let mut app = spawn_app(first.app(), &mut env);
+    for fault in faults {
+        app.inject(fault.slug(), &mut env).expect("injectable");
+    }
+    let benign = app.benign_request();
+    let mut workload = vec![benign.clone()];
+    for fault in faults {
+        workload.push(app.trigger_request(fault.slug()).expect("trigger"));
+    }
+    workload.push(benign);
+    let mut strat = strategy.build();
+    let run = run_workload(app.as_mut(), &mut env, &workload, strat.as_mut());
+    // The combined class is the hardest constituent: EI dominates EDN
+    // dominates EDT (ordered by how little recovery can do).
+    let class = faults
+        .iter()
+        .map(|f| f.class())
+        .min()
+        .expect("nonempty");
+    FaultOutcome {
+        slug: faults.iter().map(|f| f.slug()).collect::<Vec<_>>().join("+"),
+        class,
+        strategy,
+        survived: run.survived,
+        failures: run.failures,
+        recoveries: run.recoveries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_corpus::find;
+
+    #[test]
+    fn strategy_kinds_have_unique_names() {
+        use std::collections::BTreeSet;
+        let names: BTreeSet<_> = StrategyKind::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), StrategyKind::ALL.len());
+        assert!(StrategyKind::Restart.is_generic());
+        assert!(!StrategyKind::AppSpecific.is_generic());
+        assert!(!StrategyKind::Rejuvenation.is_generic());
+    }
+
+    #[test]
+    fn experiments_are_deterministic_in_the_seed() {
+        let fault = find("mysql-edt-01").unwrap();
+        let a = run_fault_experiment(&fault, StrategyKind::Restart, 42);
+        let b = run_fault_experiment(&fault, StrategyKind::Restart, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn environment_independent_fault_never_survives_any_strategy() {
+        let fault = find("mysql-ei-03").unwrap();
+        for strategy in StrategyKind::ALL {
+            let out = run_fault_experiment(&fault, strategy, 7);
+            assert!(!out.survived, "{strategy}");
+            assert!(out.failures > 0);
+        }
+    }
+
+    #[test]
+    fn nontransient_fault_defeats_generic_but_leak_yields_to_app_knowledge() {
+        let leak = find("apache-edn-01").unwrap();
+        for strategy in [StrategyKind::Restart, StrategyKind::ProcessPair, StrategyKind::Rollback]
+        {
+            assert!(!run_fault_experiment(&leak, strategy, 7).survived, "{strategy}");
+        }
+        assert!(run_fault_experiment(&leak, StrategyKind::AppSpecific, 7).survived);
+        // Rejuvenation *prevents* the leak from ever manifesting (§6.2).
+        let rejuv = run_fault_experiment(&leak, StrategyKind::Rejuvenation, 7);
+        assert!(rejuv.survived);
+        assert_eq!(rejuv.failures, 0, "proactive rejuvenation avoided the crash");
+    }
+
+    #[test]
+    fn transient_fault_survives_restart_but_not_no_recovery() {
+        let fault = find("apache-edt-04").unwrap();
+        assert!(run_fault_experiment(&fault, StrategyKind::Restart, 7).survived);
+        assert!(!run_fault_experiment(&fault, StrategyKind::None, 7).survived);
+    }
+
+    #[test]
+    fn two_transient_faults_both_survive_one_strategy() {
+        let a = find("apache-edt-02").unwrap();
+        let b = find("apache-edt-07").unwrap();
+        let out = run_multi_fault_experiment(&[&a, &b], StrategyKind::Restart, 7);
+        assert!(out.survived, "both transient triggers recoverable in sequence");
+        assert_eq!(out.class, FaultClass::EnvDependentTransient);
+        // Recovering the first fault advances simulated time, which heals
+        // the second (drained entropy) before its trigger even runs — one
+        // recovery can clear multiple transient conditions.
+        assert!(out.recoveries >= 1);
+        assert!(out.failures >= 1);
+        assert_eq!(out.slug, "apache-edt-02+apache-edt-07");
+    }
+
+    #[test]
+    fn a_deterministic_cohabitant_dooms_the_workload() {
+        let transient = find("apache-edt-02").unwrap();
+        let deterministic = find("apache-ei-26").unwrap();
+        let out = run_multi_fault_experiment(
+            &[&transient, &deterministic],
+            StrategyKind::Restart,
+            7,
+        );
+        assert!(!out.survived, "the EI trigger is still fatal");
+        assert_eq!(out.class, FaultClass::EnvironmentIndependent, "hardest class wins");
+        // The transient fault *was* recovered before the EI one hit.
+        assert!(out.recoveries >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-application")]
+    fn cross_application_multi_fault_rejected() {
+        let a = find("apache-edt-02").unwrap();
+        let b = find("mysql-edt-01").unwrap();
+        let _ = run_multi_fault_experiment(&[&a, &b], StrategyKind::Restart, 1);
+    }
+
+    #[test]
+    fn dns_healing_needs_slow_recovery_fast_failover_misses_it() {
+        let fault = find("apache-edt-01").unwrap();
+        let restart = run_fault_experiment(&fault, StrategyKind::Restart, 7);
+        assert!(restart.survived, "1s restarts reach the 2s DNS repair point");
+        let pair = run_fault_experiment(&fault, StrategyKind::ProcessPair, 7);
+        assert!(
+            !pair.survived,
+            "100ms failovers exhaust the budget before DNS heals — fast failover \
+             is not automatically better for time-healing conditions"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The experiment harness: maps corpus faults onto the simulated
+//! applications, runs them under every recovery strategy, and aggregates
+//! the per-class survival matrix — the paper's proposed end-to-end check
+//! (§5.4, §8) that the bug-report classification actually predicts
+//! recovery behaviour.
+//!
+//! # Modules
+//!
+//! - [`experiment`] — one fault × one strategy → one [`FaultOutcome`].
+//! - [`ablation`] — parameter sweeps over the recovery designs (E11–E13).
+//! - [`matrix`] — the full corpus × strategy survival matrix.
+//! - [`funnel`] — the §4 selection funnels at paper scale.
+//!
+//! # Example
+//!
+//! ```
+//! use faultstudy_harness::experiment::{run_fault_experiment, StrategyKind};
+//! use faultstudy_corpus::find;
+//!
+//! let fault = find("apache-edt-02").unwrap();
+//! let outcome = run_fault_experiment(&fault, StrategyKind::Restart, 1);
+//! assert!(outcome.survived, "hung children are cleared by generic recovery");
+//!
+//! let fault = find("apache-ei-01").unwrap();
+//! let outcome = run_fault_experiment(&fault, StrategyKind::Restart, 1);
+//! assert!(!outcome.survived, "deterministic faults defeat generic recovery");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod campaign;
+pub mod experiment;
+pub mod expreport;
+pub mod funnel;
+pub mod matrix;
+pub mod workload;
+
+pub use experiment::{run_fault_experiment, FaultOutcome, StrategyKind};
+pub use campaign::{CampaignReport, CampaignSpec};
+pub use expreport::experiments_markdown;
+pub use funnel::paper_scale_funnels;
+pub use matrix::RecoveryMatrix;

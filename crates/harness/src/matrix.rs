@@ -1,0 +1,240 @@
+//! The corpus × strategy survival matrix — the end-to-end check of the
+//! paper's thesis.
+//!
+//! The paper predicts (Tables 1–3 + §6): environment-independent faults
+//! survive nothing; environment-dependent-nontransient faults survive no
+//! purely generic strategy; environment-dependent-transient faults survive
+//! generic retry-based recovery. Running every corpus fault under every
+//! strategy turns that prediction into measurement.
+
+use crate::experiment::{run_fault_experiment, FaultOutcome, StrategyKind};
+use faultstudy_core::taxonomy::FaultClass;
+use faultstudy_corpus::full_corpus;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Survival counts for one (class, strategy) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Experiments in the cell.
+    pub total: u32,
+    /// Experiments whose workload was eventually served.
+    pub survived: u32,
+}
+
+impl Cell {
+    /// Survival rate in [0, 1]; zero for an empty cell.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            f64::from(self.survived) / f64::from(self.total)
+        }
+    }
+}
+
+/// One (class, strategy) entry of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// Fault class of the cell.
+    pub class: FaultClass,
+    /// Strategy of the cell.
+    pub strategy: StrategyKind,
+    /// Survival counts.
+    pub cell: Cell,
+}
+
+/// The full survival matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryMatrix {
+    seed: u64,
+    cells: Vec<MatrixCell>,
+    outcomes: Vec<FaultOutcome>,
+}
+
+impl RecoveryMatrix {
+    /// Runs the whole corpus under every strategy with the given seed.
+    pub fn run(seed: u64) -> RecoveryMatrix {
+        Self::run_strategies(seed, &StrategyKind::ALL)
+    }
+
+    /// Runs the whole corpus under the given strategies only.
+    pub fn run_strategies(seed: u64, strategies: &[StrategyKind]) -> RecoveryMatrix {
+        let corpus = full_corpus();
+        let mut map: BTreeMap<(FaultClass, StrategyKind), Cell> = BTreeMap::new();
+        let mut outcomes = Vec::with_capacity(corpus.len() * strategies.len());
+        for fault in &corpus {
+            for &strategy in strategies {
+                let out = run_fault_experiment(fault, strategy, seed);
+                let cell = map.entry((out.class, strategy)).or_default();
+                cell.total += 1;
+                cell.survived += u32::from(out.survived);
+                outcomes.push(out);
+            }
+        }
+        let cells = map
+            .into_iter()
+            .map(|((class, strategy), cell)| MatrixCell { class, strategy, cell })
+            .collect();
+        RecoveryMatrix { seed, cells, outcomes }
+    }
+
+    /// The seed the matrix was computed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// One cell of the matrix.
+    pub fn cell(&self, class: FaultClass, strategy: StrategyKind) -> Cell {
+        self.cells
+            .iter()
+            .find(|c| c.class == class && c.strategy == strategy)
+            .map(|c| c.cell)
+            .unwrap_or_default()
+    }
+
+    /// Overall survival rate of one strategy across all 139 faults — the
+    /// number to compare against the paper's 5–14% transient fraction.
+    pub fn overall(&self, strategy: StrategyKind) -> Cell {
+        let mut out = Cell::default();
+        for class in FaultClass::ALL {
+            let c = self.cell(class, strategy);
+            out.total += c.total;
+            out.survived += c.survived;
+        }
+        out
+    }
+
+    /// Every individual outcome.
+    pub fn outcomes(&self) -> &[FaultOutcome] {
+        &self.outcomes
+    }
+
+    /// Slugs of faults with the given class and strategy that survived
+    /// (`survived = true`) or failed (`survived = false`).
+    pub fn slugs_where(
+        &self,
+        class: FaultClass,
+        strategy: StrategyKind,
+        survived: bool,
+    ) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.class == class && o.strategy == strategy && o.survived == survived)
+            .map(|o| o.slug.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for RecoveryMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Recovery matrix (seed {}): survived/total per fault class and strategy",
+            self.seed
+        )?;
+        write!(f, "{:<22}", "strategy")?;
+        for class in FaultClass::ALL {
+            let short = match class {
+                FaultClass::EnvironmentIndependent => "env-indep",
+                FaultClass::EnvDependentNonTransient => "nontransient",
+                FaultClass::EnvDependentTransient => "transient",
+            };
+            write!(f, " {short:>14}")?;
+        }
+        writeln!(f, " {:>14}", "overall")?;
+        for strategy in StrategyKind::ALL {
+            write!(f, "{:<22}", strategy.name())?;
+            for class in FaultClass::ALL {
+                let c = self.cell(class, strategy);
+                write!(f, " {:>14}", format!("{}/{}", c.survived, c.total))?;
+            }
+            let o = self.overall(strategy);
+            writeln!(f, " {:>14}", format!("{}/{} ({:.0}%)", o.survived, o.total, o.rate() * 100.0))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One full-matrix computation shared by the assertions below.
+    fn matrix() -> RecoveryMatrix {
+        RecoveryMatrix::run(2000)
+    }
+
+    #[test]
+    fn matrix_reproduces_the_papers_thesis() {
+        let m = matrix();
+
+        // Environment-independent faults survive nothing (Tables 1-3, §6.1).
+        for strategy in StrategyKind::ALL {
+            let c = m.cell(FaultClass::EnvironmentIndependent, strategy);
+            assert_eq!(c.total, 113);
+            assert_eq!(c.survived, 0, "{strategy} must not survive EI faults");
+        }
+
+        // Nontransient faults survive no purely generic strategy (§3).
+        for strategy in StrategyKind::ALL.into_iter().filter(|s| s.is_generic()) {
+            let c = m.cell(FaultClass::EnvDependentNonTransient, strategy);
+            assert_eq!(c.total, 14);
+            assert_eq!(c.survived, 0, "{strategy} must not survive EDN faults");
+        }
+
+        // Application knowledge recovers the self-inflicted EDN conditions.
+        let app_specific = m.cell(FaultClass::EnvDependentNonTransient, StrategyKind::AppSpecific);
+        assert_eq!(app_specific.survived, 4, "leak, 2x own-fd leaks, hostname rebind");
+
+        // Transient faults survive retry-based generic recovery (§6.3).
+        let restart = m.cell(FaultClass::EnvDependentTransient, StrategyKind::Restart);
+        assert_eq!(restart.total, 12);
+        assert!(restart.survived >= 10, "restart survived only {}", restart.survived);
+        let progressive = m.cell(FaultClass::EnvDependentTransient, StrategyKind::Progressive);
+        assert!(progressive.survived >= 11, "progressive survived {}", progressive.survived);
+
+        // Without any recovery nothing survives.
+        assert_eq!(m.overall(StrategyKind::None).survived, 0);
+
+        // The headline: overall generic survival lands in the paper's
+        // 5-14% transient band.
+        let overall = m.overall(StrategyKind::Restart);
+        let pct = overall.rate() * 100.0;
+        assert!((5.0..=14.0).contains(&pct), "restart overall {pct:.1}% outside 5-14%");
+    }
+
+    #[test]
+    fn fast_failover_underperforms_slow_restart_on_healing_conditions() {
+        let m = matrix();
+        let pair = m.cell(FaultClass::EnvDependentTransient, StrategyKind::ProcessPair);
+        let restart = m.cell(FaultClass::EnvDependentTransient, StrategyKind::Restart);
+        assert!(
+            pair.survived < restart.survived,
+            "pair {} !< restart {}",
+            pair.survived,
+            restart.survived
+        );
+    }
+
+    #[test]
+    fn display_renders_all_strategies() {
+        let m = RecoveryMatrix::run_strategies(1, &[StrategyKind::None]);
+        let text = m.to_string();
+        assert!(text.contains("none"));
+        assert!(text.contains("transient"));
+        assert!(text.contains("0/113"));
+    }
+
+    #[test]
+    fn slugs_where_partitions_outcomes() {
+        let m = RecoveryMatrix::run_strategies(3, &[StrategyKind::Restart]);
+        let survived =
+            m.slugs_where(FaultClass::EnvDependentTransient, StrategyKind::Restart, true);
+        let failed =
+            m.slugs_where(FaultClass::EnvDependentTransient, StrategyKind::Restart, false);
+        assert_eq!(survived.len() + failed.len(), 12);
+        assert!(survived.contains(&"apache-edt-02"));
+    }
+}

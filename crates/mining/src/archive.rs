@@ -1,0 +1,86 @@
+//! The in-memory bug archive.
+
+use faultstudy_core::report::BugReport;
+use faultstudy_core::taxonomy::AppKind;
+use serde::{Deserialize, Serialize};
+
+/// A bug archive: the raw input to the §4 funnel.
+///
+/// Apache's tracker, GNOME's debbugs, and MySQL's mailing list differ in
+/// how their entries were produced, but by the time the funnel sees them
+/// each entry is a [`BugReport`]; the per-app differences live in the
+/// pipeline configuration instead (MySQL's pipeline starts with the
+/// keyword search, the trackers' do not).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Archive {
+    app: AppKind,
+    reports: Vec<BugReport>,
+}
+
+impl Archive {
+    /// Wraps `reports` as the archive of `app`.
+    pub fn new(app: AppKind, reports: Vec<BugReport>) -> Archive {
+        Archive { app, reports }
+    }
+
+    /// The application this archive covers.
+    pub fn app(&self) -> AppKind {
+        self.app
+    }
+
+    /// Number of raw entries.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Iterates over the raw entries in archive order.
+    pub fn iter(&self) -> impl Iterator<Item = &BugReport> {
+        self.reports.iter()
+    }
+
+    /// The raw entries.
+    pub fn reports(&self) -> &[BugReport] {
+        &self.reports
+    }
+
+    /// Looks up an entry by archive id.
+    pub fn get(&self, id: u64) -> Option<&BugReport> {
+        self.reports.iter().find(|r| r.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_core::taxonomy::Severity;
+
+    fn report(id: u64) -> BugReport {
+        BugReport::builder(AppKind::Apache, id)
+            .title(format!("bug {id}"))
+            .severity(Severity::Severe)
+            .build()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = Archive::new(AppKind::Apache, vec![report(1), report(2)]);
+        assert_eq!(a.app(), AppKind::Apache);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.get(2).unwrap().title, "bug 2");
+        assert!(a.get(99).is_none());
+        assert_eq!(a.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_archive() {
+        let a = Archive::new(AppKind::Mysql, Vec::new());
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Duplicate-report detection: the "unique bugs" step of the §4 funnel.
+//!
+//! Two mechanisms are combined, mirroring how a human curator works:
+//! explicit duplicate links (trackers record `duplicate_of`), and a
+//! normalized-title comparison that catches re-reports which were never
+//! formally linked (mailing lists have no link field). Normalization
+//! lowercases, strips punctuation and the "(again)" style re-post markers,
+//! and collapses whitespace, so `"(again) Server crashed!"` and
+//! `"server crashed"` coincide.
+
+use faultstudy_core::report::BugReport;
+use std::collections::HashSet;
+
+/// Normalizes a title for duplicate comparison.
+pub fn normalize_title(title: &str) -> String {
+    let mut words: Vec<String> = title
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_owned)
+        .collect();
+    // Strip leading re-post markers.
+    while matches!(words.first().map(String::as_str), Some("again" | "re" | "fwd")) {
+        words.remove(0);
+    }
+    words.join(" ")
+}
+
+/// Retains the first report of each distinct fault, dropping explicit
+/// duplicates and title-level re-posts. Order is preserved; among
+/// duplicates the earliest archive id survives.
+pub fn dedup_reports(reports: Vec<BugReport>) -> Vec<BugReport> {
+    let mut reports = reports;
+    // Earliest report first so the primary survives.
+    reports.sort_by_key(|r| r.id);
+    let mut seen_titles: HashSet<String> = HashSet::new();
+    let mut kept_ids: HashSet<u64> = HashSet::new();
+    let mut out = Vec::with_capacity(reports.len());
+    for r in reports {
+        if let Some(primary) = r.duplicate_of {
+            if kept_ids.contains(&primary) {
+                continue; // formally linked duplicate of a kept report
+            }
+        }
+        let norm = normalize_title(&r.title);
+        if !norm.is_empty() && !seen_titles.insert(norm) {
+            continue; // same fault re-reported under an equivalent title
+        }
+        kept_ids.insert(r.id);
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_core::taxonomy::{AppKind, Severity};
+
+    fn report(id: u64, title: &str) -> BugReport {
+        BugReport::builder(AppKind::Apache, id)
+            .title(title)
+            .severity(Severity::Severe)
+            .build()
+    }
+
+    #[test]
+    fn normalization_strips_markers_and_punctuation() {
+        assert_eq!(normalize_title("(again) Server crashed!"), "server crashed");
+        assert_eq!(normalize_title("RE: re: server crashed"), "server crashed");
+        assert_eq!(normalize_title("Server   CRASHED..."), "server crashed");
+        assert_eq!(normalize_title(""), "");
+    }
+
+    #[test]
+    fn explicit_duplicates_removed() {
+        let mut dup = report(5, "totally different words");
+        dup.duplicate_of = Some(1);
+        let out = dedup_reports(vec![report(1, "server crashed"), dup]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn title_level_duplicates_removed_keeping_earliest() {
+        let out = dedup_reports(vec![
+            report(9, "(again) server crashed"),
+            report(2, "Server crashed!"),
+            report(4, "unrelated other bug"),
+        ]);
+        let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
+        assert_eq!(ids, [2, 4]);
+    }
+
+    #[test]
+    fn unlinked_duplicate_with_distinct_title_survives() {
+        // A formally-linked duplicate whose primary was itself dropped (not
+        // in the input) is kept: the link alone is not enough to discard
+        // the only report of a fault.
+        let mut dup = report(3, "the only report of this fault");
+        dup.duplicate_of = Some(999);
+        let out = dedup_reports(vec![dup]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn dedup_is_idempotent() {
+        let input = vec![
+            report(1, "a crash"),
+            report(2, "(again) a crash"),
+            report(3, "b crash"),
+        ];
+        let once = dedup_reports(input);
+        let twice = dedup_reports(once.clone());
+        assert_eq!(once, twice);
+        assert_eq!(once.len(), 2);
+    }
+
+    #[test]
+    fn empty_titles_do_not_collide() {
+        let out = dedup_reports(vec![report(1, ""), report(2, "")]);
+        assert_eq!(out.len(), 2, "empty titles carry no duplicate signal");
+    }
+}

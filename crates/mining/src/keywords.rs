@@ -1,0 +1,100 @@
+//! Keyword search over report text.
+//!
+//! §4: *"we use all the messages from the archives that matched one of the
+//! following keywords: 'crash', 'segmentation', 'race', and 'died' (we
+//! looked at a few hundred messages and found that these keywords were the
+//! ones commonly used to describe serious bugs)"*.
+
+use faultstudy_core::report::BugReport;
+use serde::{Deserialize, Serialize};
+
+/// The paper's MySQL mailing-list keywords.
+pub const MYSQL_KEYWORDS: [&str; 4] = ["crash", "segmentation", "race", "died"];
+
+/// A disjunctive, case-insensitive keyword query.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_mining::keywords::KeywordQuery;
+///
+/// let q = KeywordQuery::new(["crash", "died"]);
+/// assert!(q.matches_text("the server CRASHED at noon"));
+/// assert!(!q.matches_text("feature request: nicer prompt"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeywordQuery {
+    keywords: Vec<String>,
+}
+
+impl KeywordQuery {
+    /// Builds a query from keywords (stored lowercased).
+    pub fn new<I, S>(keywords: I) -> KeywordQuery
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        KeywordQuery {
+            keywords: keywords.into_iter().map(|k| k.as_ref().to_lowercase()).collect(),
+        }
+    }
+
+    /// The paper's MySQL query.
+    pub fn mysql() -> KeywordQuery {
+        KeywordQuery::new(MYSQL_KEYWORDS)
+    }
+
+    /// The keywords, lowercased.
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+
+    /// Whether any keyword occurs in `text` (case-insensitive substring).
+    pub fn matches_text(&self, text: &str) -> bool {
+        let lower = text.to_lowercase();
+        self.keywords.iter().any(|k| lower.contains(k))
+    }
+
+    /// Whether any keyword occurs anywhere in the report.
+    pub fn matches(&self, report: &BugReport) -> bool {
+        self.matches_text(&report.full_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_core::taxonomy::AppKind;
+
+    #[test]
+    fn mysql_query_has_the_four_paper_keywords() {
+        let q = KeywordQuery::mysql();
+        assert_eq!(q.keywords(), ["crash", "segmentation", "race", "died"]);
+    }
+
+    #[test]
+    fn substring_and_case_behaviour() {
+        let q = KeywordQuery::mysql();
+        assert!(q.matches_text("it Crashes every day"), "'crash' is a prefix of 'crashes'");
+        assert!(q.matches_text("SEGMENTATION fault"));
+        assert!(q.matches_text("the daemon died"));
+        assert!(q.matches_text("looks like a race"));
+        assert!(!q.matches_text("the server stopped responding")); // none of the four
+        assert!(!q.matches_text(""));
+    }
+
+    #[test]
+    fn matches_searches_all_report_fields() {
+        let r = BugReport::builder(AppKind::Mysql, 1)
+            .title("problem under load")
+            .developer_notes("turned out to be a race in the lock manager")
+            .build();
+        assert!(KeywordQuery::mysql().matches(&r));
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let q = KeywordQuery::new(Vec::<String>::new());
+        assert!(!q.matches_text("anything at all"));
+    }
+}

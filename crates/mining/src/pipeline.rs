@@ -1,0 +1,218 @@
+//! The §4 selection pipeline and its funnel accounting.
+//!
+//! Stages, in order:
+//!
+//! 1. **Keyword search** (mailing-list archives only): keep entries
+//!    matching the paper's serious-bug keywords.
+//! 2. **High-impact filter**: keep severe/critical reports — those that
+//!    "crash, return an error condition, cause security problems, or stop
+//!    responding".
+//! 3. **Production-version filter**: the paper assumes users test new
+//!    versions before production, so pre-release reports are out of scope.
+//! 4. **Dedup**: reduce to unique bugs.
+//!
+//! [`PipelineOutcome`] records the surviving count after each stage, which
+//! is exactly the funnel the paper reports (5220 → 50, ~500 → 45,
+//! 44,000 → 44).
+
+use crate::archive::Archive;
+use crate::dedup::dedup_reports;
+use crate::keywords::KeywordQuery;
+use faultstudy_core::report::BugReport;
+use faultstudy_core::taxonomy::AppKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One stage of the funnel with its surviving count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunnelStage {
+    /// Stage name.
+    pub name: String,
+    /// Reports surviving the stage.
+    pub survivors: usize,
+}
+
+/// The result of running a pipeline over an archive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineOutcome {
+    /// The application mined.
+    pub app: AppKind,
+    /// Stage-by-stage survivor counts, starting with the raw archive size.
+    pub funnel: Vec<FunnelStage>,
+    /// The selected unique reports.
+    pub selected: Vec<BugReport>,
+}
+
+impl PipelineOutcome {
+    /// The raw archive size (first funnel entry).
+    pub fn raw_size(&self) -> usize {
+        self.funnel.first().map_or(0, |s| s.survivors)
+    }
+
+    /// The final unique-bug count (last funnel entry).
+    pub fn unique_bugs(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+impl fmt::Display for PipelineOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.app)?;
+        let counts: Vec<String> =
+            self.funnel.iter().map(|s| format!("{} ({})", s.survivors, s.name)).collect();
+        f.write_str(&counts.join(" -> "))
+    }
+}
+
+/// The §4 selection pipeline.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_core::taxonomy::AppKind;
+/// use faultstudy_mining::SelectionPipeline;
+///
+/// let p = SelectionPipeline::for_app(AppKind::Mysql);
+/// assert!(p.uses_keyword_search());
+/// let p = SelectionPipeline::for_app(AppKind::Apache);
+/// assert!(!p.uses_keyword_search());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionPipeline {
+    keyword_query: Option<KeywordQuery>,
+}
+
+impl SelectionPipeline {
+    /// The pipeline the paper used for `app`: mailing-list keyword search
+    /// for MySQL, straight severity/production/dedup for the trackers.
+    pub fn for_app(app: AppKind) -> SelectionPipeline {
+        SelectionPipeline {
+            keyword_query: match app {
+                AppKind::Mysql => Some(KeywordQuery::mysql()),
+                AppKind::Apache | AppKind::Gnome => None,
+            },
+        }
+    }
+
+    /// A pipeline with a custom (or no) keyword stage.
+    pub fn with_keywords(keyword_query: Option<KeywordQuery>) -> SelectionPipeline {
+        SelectionPipeline { keyword_query }
+    }
+
+    /// Whether the pipeline begins with a keyword search.
+    pub fn uses_keyword_search(&self) -> bool {
+        self.keyword_query.is_some()
+    }
+
+    /// Runs the funnel over `archive`.
+    pub fn run(&self, archive: &Archive) -> PipelineOutcome {
+        let mut funnel = vec![FunnelStage {
+            name: "raw archive".to_owned(),
+            survivors: archive.len(),
+        }];
+        let mut current: Vec<BugReport> = archive.iter().cloned().collect();
+
+        if let Some(q) = &self.keyword_query {
+            current.retain(|r| q.matches(r));
+            funnel.push(FunnelStage { name: "keyword match".to_owned(), survivors: current.len() });
+        }
+
+        current.retain(|r| r.severity.is_high_impact());
+        funnel.push(FunnelStage { name: "high impact".to_owned(), survivors: current.len() });
+
+        current.retain(|r| r.on_production_version);
+        funnel
+            .push(FunnelStage { name: "production version".to_owned(), survivors: current.len() });
+
+        let current = dedup_reports(current);
+        funnel.push(FunnelStage { name: "unique bugs".to_owned(), survivors: current.len() });
+
+        PipelineOutcome { app: archive.app(), funnel, selected: current }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_core::report::BugReport;
+    use faultstudy_core::taxonomy::Severity;
+    use faultstudy_corpus::{PopulationSpec, SyntheticPopulation};
+
+    fn outcome_for(app: AppKind, size: usize, seed: u64) -> (PipelineOutcome, SyntheticPopulation) {
+        let spec = PopulationSpec { app, archive_size: size, max_duplicates_per_fault: 2, seed };
+        let pop = SyntheticPopulation::generate(&spec);
+        let archive = Archive::new(app, pop.reports.clone());
+        (SelectionPipeline::for_app(app).run(&archive), pop)
+    }
+
+    #[test]
+    fn apache_funnel_recovers_exactly_50_unique_bugs() {
+        let (out, pop) = outcome_for(AppKind::Apache, 1000, 11);
+        assert_eq!(out.raw_size(), 1000);
+        assert_eq!(out.unique_bugs(), 50, "{out}");
+        let pr = crate::metrics::PrecisionRecall::measure(&out.selected, &pop.ground_truth);
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 1.0);
+    }
+
+    #[test]
+    fn gnome_funnel_recovers_exactly_45() {
+        let (out, _) = outcome_for(AppKind::Gnome, 500, 12);
+        assert_eq!(out.unique_bugs(), 45);
+    }
+
+    #[test]
+    fn mysql_funnel_includes_keyword_stage_and_recovers_44() {
+        let (out, _) = outcome_for(AppKind::Mysql, 2000, 13);
+        assert_eq!(out.unique_bugs(), 44);
+        assert_eq!(out.funnel.len(), 5, "raw, keyword, impact, production, unique");
+        assert_eq!(out.funnel[1].name, "keyword match");
+        // The keyword stage must actually narrow a mailing-list archive.
+        assert!(out.funnel[1].survivors < out.raw_size());
+    }
+
+    #[test]
+    fn tracker_pipelines_skip_keyword_stage() {
+        let (out, _) = outcome_for(AppKind::Apache, 200, 14);
+        assert_eq!(out.funnel.len(), 4);
+        assert_eq!(out.funnel[1].name, "high impact");
+    }
+
+    #[test]
+    fn funnel_counts_are_monotonically_nonincreasing() {
+        let (out, _) = outcome_for(AppKind::Mysql, 1500, 15);
+        let counts: Vec<usize> = out.funnel.iter().map(|s| s.survivors).collect();
+        assert!(counts.windows(2).all(|w| w[1] <= w[0]), "{counts:?}");
+    }
+
+    #[test]
+    fn display_prints_the_funnel() {
+        let (out, _) = outcome_for(AppKind::Gnome, 100, 16);
+        let s = out.to_string();
+        assert!(s.starts_with("GNOME: 100 (raw archive)"));
+        assert!(s.contains("unique bugs"));
+    }
+
+    #[test]
+    fn custom_pipeline_on_handmade_reports() {
+        let reports = vec![
+            BugReport::builder(AppKind::Mysql, 1)
+                .title("server crashed on join")
+                .severity(Severity::Critical)
+                .build(),
+            BugReport::builder(AppKind::Mysql, 2)
+                .title("question about configuration")
+                .severity(Severity::Minor)
+                .build(),
+            BugReport::builder(AppKind::Mysql, 3)
+                .title("beta died in testing")
+                .severity(Severity::Critical)
+                .version("beta", false)
+                .build(),
+        ];
+        let archive = Archive::new(AppKind::Mysql, reports);
+        let out = SelectionPipeline::for_app(AppKind::Mysql).run(&archive);
+        assert_eq!(out.unique_bugs(), 1);
+        assert_eq!(out.selected[0].id, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Recovery strategies: application-generic techniques (restart-retry,
+//! process pairs, rollback-recovery, progressive retry, rejuvenation) and
+//! the application-specific comparator.
+//!
+//! §2 of the paper defines the contract this crate implements: a *truly
+//! generic* recovery mechanism "must preserve all application state (e.g.
+//! by checkpointing or logging), because there is no application-specific
+//! code to reconstruct missing state. Hence only a change external to the
+//! application can allow the application to succeed on retry." Every
+//! generic strategy here therefore restores checkpoints byte-for-byte and
+//! touches only the environment ([`faultstudy_env::Environment::on_generic_recovery`]);
+//! the [`AppSpecific`] comparator is the one allowed to call
+//! [`Application::cold_start`](faultstudy_apps::Application::cold_start).
+//!
+//! # Modules
+//!
+//! - [`strategy`] — the [`RecoveryStrategy`] trait and [`NoRecovery`].
+//! - [`restart`] — generic restart + retry from the last checkpoint.
+//! - [`pair`] — process pairs \[Gray86\]: per-request state mirroring with
+//!   fast failover.
+//! - [`rollback`] — checkpoint every N requests + message-log replay
+//!   [Elnozahy99, Huang93].
+//! - [`progressive`] — progressive retry with environment perturbation
+//!   \[Wang93\].
+//! - [`rejuvenation`] — proactive software rejuvenation \[Huang95\].
+//! - [`app_specific`] — the application-specific comparator.
+//! - [`supervisor`] — drives a workload against an application under a
+//!   strategy and reports survival.
+//! - [`thread_pair`] — a real-thread process-pair demonstration on
+//!   crossbeam channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app_specific;
+pub mod pair;
+pub mod progressive;
+pub mod rejuvenation;
+pub mod restart;
+pub mod rollback;
+pub mod strategy;
+pub mod supervisor;
+pub mod thread_pair;
+
+pub use app_specific::AppSpecific;
+pub use pair::ProcessPair;
+pub use progressive::ProgressiveRetry;
+pub use rejuvenation::Rejuvenation;
+pub use restart::RestartRetry;
+pub use rollback::RollbackRecovery;
+pub use strategy::{NoRecovery, RecoveryStrategy};
+pub use supervisor::{run_workload, WorkloadRun};

@@ -1,0 +1,81 @@
+//! The recovery-strategy abstraction.
+
+use faultstudy_apps::{Application, Request};
+use faultstudy_env::Environment;
+use std::fmt;
+
+/// A recovery strategy supervising one application.
+///
+/// The [`supervisor`](crate::supervisor) calls the hooks in order:
+/// [`RecoveryStrategy::on_start`] once before the workload,
+/// [`RecoveryStrategy::on_success`] after every served request, and
+/// [`RecoveryStrategy::on_failure`] when a request manifests a fault. The
+/// failure hook performs the strategy's recovery actions and answers
+/// whether the request should be retried.
+pub trait RecoveryStrategy: fmt::Debug {
+    /// Short identifier used in reports (`"restart"`, `"process-pair"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Whether the strategy is application-generic in the paper's sense
+    /// (no application knowledge beyond the opaque checkpoint).
+    fn is_generic(&self) -> bool;
+
+    /// Called once, after fault injection, before the first request.
+    fn on_start(&mut self, app: &mut dyn Application, env: &mut Environment) {
+        let _ = (app, env);
+    }
+
+    /// Called after `req` was served successfully.
+    fn on_success(&mut self, req: &Request, app: &mut dyn Application, env: &mut Environment) {
+        let _ = (req, app, env);
+    }
+
+    /// Called when a request failed on its `attempt`-th try (1-based).
+    /// Performs recovery and returns `true` to retry the request, `false`
+    /// to give up.
+    fn on_failure(
+        &mut self,
+        app: &mut dyn Application,
+        env: &mut Environment,
+        attempt: u32,
+    ) -> bool;
+}
+
+/// The baseline: no recovery at all — the first failure is fatal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRecovery;
+
+impl RecoveryStrategy for NoRecovery {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn is_generic(&self) -> bool {
+        true
+    }
+
+    fn on_failure(
+        &mut self,
+        _app: &mut dyn Application,
+        _env: &mut Environment,
+        _attempt: u32,
+    ) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_apps::MiniWeb;
+
+    #[test]
+    fn no_recovery_always_gives_up() {
+        let mut env = Environment::builder().seed(1).build();
+        let mut app = MiniWeb::new(&mut env);
+        let mut s = NoRecovery;
+        assert_eq!(s.name(), "none");
+        assert!(s.is_generic());
+        assert!(!s.on_failure(&mut app, &mut env, 1));
+    }
+}

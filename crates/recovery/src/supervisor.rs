@@ -1,0 +1,175 @@
+//! The supervisor: drives a workload against an application under a
+//! recovery strategy and reports whether the work survived.
+
+use crate::strategy::RecoveryStrategy;
+use faultstudy_apps::{Application, Request};
+use faultstudy_env::Environment;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of supervising one workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadRun {
+    /// Requests that were eventually served.
+    pub completed: usize,
+    /// Requests in the workload.
+    pub total: usize,
+    /// Fault manifestations observed (first failures and failed retries).
+    pub failures: u32,
+    /// Recovery actions the strategy performed.
+    pub recoveries: u32,
+    /// Whether the whole workload was eventually served. This is the
+    /// paper's survival criterion: every requested task must execute — "we
+    /// do not assume a user will generously avoid the fault trigger" (§7).
+    pub survived: bool,
+    /// Reason of the final failure when not survived.
+    pub last_failure: Option<String>,
+}
+
+/// Runs `workload` against `app` under `strategy`.
+///
+/// Each request is attempted until it succeeds or the strategy gives up.
+/// Retries clear the request's one-shot [`Request::timing_event`]: the
+/// event came from the environment's timing, and recovery replays the
+/// request, not the environment.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_apps::{Application, MiniWeb, Request};
+/// use faultstudy_env::Environment;
+/// use faultstudy_recovery::{run_workload, RestartRetry};
+///
+/// let mut env = Environment::builder().seed(1).build();
+/// let mut app = MiniWeb::new(&mut env);
+/// let workload = vec![Request::new("GET /a"), Request::new("GET /b")];
+/// let mut strategy = RestartRetry::new(3);
+/// let run = run_workload(&mut app, &mut env, &workload, &mut strategy);
+/// assert!(run.survived);
+/// assert_eq!(run.completed, 2);
+/// ```
+pub fn run_workload(
+    app: &mut dyn Application,
+    env: &mut Environment,
+    workload: &[Request],
+    strategy: &mut dyn RecoveryStrategy,
+) -> WorkloadRun {
+    strategy.on_start(app, env);
+    let mut run = WorkloadRun {
+        completed: 0,
+        total: workload.len(),
+        failures: 0,
+        recoveries: 0,
+        survived: true,
+        last_failure: None,
+    };
+    'workload: for original in workload {
+        let mut req = original.clone();
+        let mut attempt = 0u32;
+        loop {
+            match app.handle(&req, env) {
+                Ok(_) => {
+                    strategy.on_success(&req, app, env);
+                    run.completed += 1;
+                    break;
+                }
+                Err(failure) => {
+                    run.failures += 1;
+                    run.last_failure = Some(failure.to_string());
+                    attempt += 1;
+                    if !strategy.on_failure(app, env, attempt) {
+                        run.survived = false;
+                        break 'workload;
+                    }
+                    run.recoveries += 1;
+                    // The retry replays the request without its one-shot
+                    // environmental timing event.
+                    req.timing_event = false;
+                }
+            }
+        }
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoRecovery, ProgressiveRetry, RestartRetry};
+    use faultstudy_apps::MiniWeb;
+
+    fn setup() -> (Environment, MiniWeb) {
+        let mut env = Environment::builder().seed(7).proc_slots(6).build();
+        let app = MiniWeb::new(&mut env);
+        (env, app)
+    }
+
+    #[test]
+    fn healthy_workload_completes_without_recoveries() {
+        let (mut env, mut app) = setup();
+        let workload: Vec<Request> =
+            (0..5).map(|i| Request::new(format!("GET /page{i}"))).collect();
+        let run = run_workload(&mut app, &mut env, &workload, &mut RestartRetry::new(2));
+        assert!(run.survived);
+        assert_eq!(run.completed, 5);
+        assert_eq!(run.failures, 0);
+        assert_eq!(run.recoveries, 0);
+        assert!(run.last_failure.is_none());
+    }
+
+    #[test]
+    fn deterministic_fault_defeats_generic_recovery() {
+        let (mut env, mut app) = setup();
+        app.inject("apache-ei-01", &mut env).unwrap();
+        let workload = vec![app.trigger_request("apache-ei-01").unwrap()];
+        let run = run_workload(&mut app, &mut env, &workload, &mut RestartRetry::new(3));
+        assert!(!run.survived);
+        assert_eq!(run.failures, 4, "initial failure plus three failed retries");
+        assert_eq!(run.recoveries, 3);
+        assert!(run.last_failure.unwrap().contains("hash"));
+    }
+
+    #[test]
+    fn transient_fault_survives_generic_recovery() {
+        let (mut env, mut app) = setup();
+        app.inject("apache-edt-02", &mut env).unwrap();
+        let workload = vec![app.trigger_request("apache-edt-02").unwrap()];
+        let run = run_workload(&mut app, &mut env, &workload, &mut RestartRetry::new(3));
+        assert!(run.survived, "{:?}", run.last_failure);
+        assert_eq!(run.recoveries, 1, "one restart cleared the hung children");
+    }
+
+    #[test]
+    fn no_recovery_fails_on_first_fault() {
+        let (mut env, mut app) = setup();
+        app.inject("apache-edt-02", &mut env).unwrap();
+        let workload = vec![app.trigger_request("apache-edt-02").unwrap()];
+        let run = run_workload(&mut app, &mut env, &workload, &mut NoRecovery);
+        assert!(!run.survived);
+        assert_eq!(run.failures, 1);
+        assert_eq!(run.completed, 0);
+    }
+
+    #[test]
+    fn remaining_workload_continues_after_recovery() {
+        let (mut env, mut app) = setup();
+        app.inject("apache-edt-07", &mut env).unwrap();
+        let mut workload = vec![
+            Request::new("GET /before"),
+            app.trigger_request("apache-edt-07").unwrap(),
+            Request::new("GET /after"),
+        ];
+        workload[0].timing_event = false;
+        let run =
+            run_workload(&mut app, &mut env, &workload, &mut ProgressiveRetry::new(5));
+        assert!(run.survived, "{:?}", run.last_failure);
+        assert_eq!(run.completed, 3);
+    }
+
+    #[test]
+    fn empty_workload_trivially_survives() {
+        let (mut env, mut app) = setup();
+        let run = run_workload(&mut app, &mut env, &[], &mut NoRecovery);
+        assert!(run.survived);
+        assert_eq!(run.total, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! A real-thread process-pair demonstration.
+//!
+//! The simulation-scheduler strategies in this crate keep experiments
+//! deterministic; this module complements them with a process pair built
+//! from actual OS threads and crossbeam channels, showing the mechanism's
+//! moving parts: the primary processes operations and ships a checkpoint
+//! to the backup after each one; when the primary dies, the backup takes
+//! over from the last shipped checkpoint and re-executes the remainder.
+//!
+//! The pair survives a *transient* primary failure (the canonical
+//! Heisenbug: the operation succeeds when re-executed by the backup) and
+//! demonstrably does not survive a deterministic poison operation that
+//! kills whichever replica executes it — the paper's thesis in thread
+//! form.
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread;
+
+/// What the primary ships to the backup.
+#[derive(Debug, Clone)]
+enum Ship {
+    /// Checkpoint: operations completed so far and the accumulator value.
+    Checkpoint { completed: usize, acc: u64 },
+    /// Clean shutdown: all operations done.
+    Done { acc: u64 },
+}
+
+/// One operation of the replicated computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Add a value to the accumulator.
+    Add(u64),
+    /// Dies on the first replica that executes it, succeeds on the next
+    /// (a transient fault: re-execution under a different "environment" —
+    /// here, the other thread — succeeds).
+    TransientFault(u64),
+    /// Dies on every replica that executes it (a deterministic fault).
+    PoisonFault,
+}
+
+/// Result of running the pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairOutcome {
+    /// Final accumulator if the computation completed.
+    pub result: Option<u64>,
+    /// Whether failover to the backup happened.
+    pub failed_over: bool,
+    /// Operations completed by the primary before it died (all of them if
+    /// it never died).
+    pub primary_completed: usize,
+}
+
+/// Executes `ops` on a primary thread with a backup standing by.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_recovery::thread_pair::{run_pair, Op};
+///
+/// let outcome = run_pair(&[Op::Add(1), Op::TransientFault(2), Op::Add(3)]);
+/// assert_eq!(outcome.result, Some(6), "backup finished the work");
+/// assert!(outcome.failed_over);
+/// ```
+pub fn run_pair(ops: &[Op]) -> PairOutcome {
+    let ops: Arc<Vec<Op>> = Arc::new(ops.to_vec());
+    let (tx, rx) = bounded::<Ship>(ops.len() + 1);
+    let primary_completed = Arc::new(Mutex::new(0usize));
+
+    // --- primary ---
+    let primary = {
+        let ops = Arc::clone(&ops);
+        let completed = Arc::clone(&primary_completed);
+        thread::spawn(move || primary_loop(&ops, &tx, &completed))
+    };
+    let _ = primary.join();
+
+    // --- backup: drain the channel (the primary is gone either way) ---
+    let mut last: Option<Ship> = None;
+    while let Ok(ship) = rx.try_recv() {
+        last = Some(ship);
+    }
+    let primary_completed = *primary_completed.lock();
+    match last {
+        Some(Ship::Done { acc }) => {
+            PairOutcome { result: Some(acc), failed_over: false, primary_completed }
+        }
+        Some(Ship::Checkpoint { completed, acc }) => {
+            backup_takeover(&ops, completed, acc, primary_completed)
+        }
+        None => backup_takeover(&ops, 0, 0, primary_completed),
+    }
+}
+
+fn primary_loop(ops: &[Op], tx: &Sender<Ship>, completed: &Mutex<usize>) {
+    let mut acc = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Add(v) => acc += v,
+            // The primary is the first executor: both fault kinds kill it.
+            Op::TransientFault(_) | Op::PoisonFault => return,
+        }
+        *completed.lock() = i + 1;
+        let _ = tx.send(Ship::Checkpoint { completed: i + 1, acc });
+    }
+    let _ = tx.send(Ship::Done { acc });
+}
+
+fn backup_takeover(
+    ops: &[Op],
+    completed: usize,
+    mut acc: u64,
+    primary_completed: usize,
+) -> PairOutcome {
+    for op in &ops[completed..] {
+        match op {
+            Op::Add(v) => acc += v,
+            // Second execution of a transient fault succeeds.
+            Op::TransientFault(v) => acc += v,
+            // A deterministic fault kills the backup too: the pair fails.
+            Op::PoisonFault => {
+                return PairOutcome { result: None, failed_over: true, primary_completed }
+            }
+        }
+    }
+    PairOutcome { result: Some(acc), failed_over: true, primary_completed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_never_fails_over() {
+        let outcome = run_pair(&[Op::Add(1), Op::Add(2), Op::Add(3)]);
+        assert_eq!(outcome.result, Some(6));
+        assert!(!outcome.failed_over);
+        assert_eq!(outcome.primary_completed, 3);
+    }
+
+    #[test]
+    fn transient_fault_survived_by_failover() {
+        let outcome = run_pair(&[Op::Add(10), Op::TransientFault(5), Op::Add(1)]);
+        assert_eq!(outcome.result, Some(16));
+        assert!(outcome.failed_over);
+        assert_eq!(outcome.primary_completed, 1, "primary died at op 2");
+    }
+
+    #[test]
+    fn poison_fault_kills_both_replicas() {
+        let outcome = run_pair(&[Op::Add(1), Op::PoisonFault, Op::Add(2)]);
+        assert_eq!(outcome.result, None, "deterministic fault defeats the pair");
+        assert!(outcome.failed_over);
+    }
+
+    #[test]
+    fn immediate_transient_fault_recovers_from_empty_checkpoint() {
+        let outcome = run_pair(&[Op::TransientFault(4), Op::Add(1)]);
+        assert_eq!(outcome.result, Some(5));
+        assert!(outcome.failed_over);
+        assert_eq!(outcome.primary_completed, 0);
+    }
+
+    #[test]
+    fn empty_op_list_completes() {
+        let outcome = run_pair(&[]);
+        assert_eq!(outcome.result, Some(0));
+        assert!(!outcome.failed_over);
+    }
+}

@@ -1,0 +1,117 @@
+//! Text rendering of Figures 1–3 as stacked horizontal bars.
+//!
+//! Each bar is a release (Figures 1 and 3) or a month (Figure 2); the
+//! segments are `#` for environment-independent, `N` for nontransient,
+//! and `T` for transient faults, so the figure's two headline properties —
+//! stable environment-independent proportion, growing totals — are visible
+//! directly in the output.
+
+use faultstudy_core::study::ClassCounts;
+use faultstudy_core::taxonomy::FaultClass;
+use faultstudy_core::timeline::{ReleaseSeries, TimeSeries};
+
+fn bar(counts: &ClassCounts) -> String {
+    let mut s = String::new();
+    s.push_str(&"#".repeat(counts.get(FaultClass::EnvironmentIndependent) as usize));
+    s.push_str(&"N".repeat(counts.get(FaultClass::EnvDependentNonTransient) as usize));
+    s.push_str(&"T".repeat(counts.get(FaultClass::EnvDependentTransient) as usize));
+    s
+}
+
+/// Renders a per-release distribution (Figures 1 and 3).
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_core::taxonomy::AppKind;
+/// use faultstudy_core::timeline::by_release;
+/// use faultstudy_corpus::paper_study;
+/// use faultstudy_report::render_release_figure;
+///
+/// let series = by_release(&paper_study(), AppKind::Mysql);
+/// let text = render_release_figure(&series);
+/// assert!(text.contains("3.23.0"));
+/// ```
+pub fn render_release_figure(series: &ReleaseSeries) -> String {
+    let mut out = format!(
+        "Figure {}: Distribution of faults for {} over software releases\n\
+         (# environment-independent, N env-dep-nontransient, T env-dep-transient)\n",
+        series.app.figure_number(),
+        series.app.name()
+    );
+    let width = series.buckets.iter().map(|b| b.release.len()).max().unwrap_or(0);
+    for b in &series.buckets {
+        out.push_str(&format!(
+            "{:>width$} | {:<24} ({})\n",
+            b.release,
+            bar(&b.counts),
+            b.counts.total(),
+        ));
+    }
+    out
+}
+
+/// Renders a per-month distribution (Figure 2).
+pub fn render_time_figure(series: &TimeSeries) -> String {
+    let mut out = format!(
+        "Figure {}: Distribution of faults for {} over time\n\
+         (# environment-independent, N env-dep-nontransient, T env-dep-transient)\n",
+        series.app.figure_number(),
+        series.app.name()
+    );
+    for (ym, counts) in &series.buckets {
+        out.push_str(&format!("{ym} | {:<12} ({})\n", bar(counts), counts.total()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_core::taxonomy::AppKind;
+    use faultstudy_core::timeline::{by_month, by_release};
+    use faultstudy_corpus::paper_study;
+
+    #[test]
+    fn apache_figure_shows_growing_bars() {
+        let study = paper_study();
+        let text = render_release_figure(&by_release(&study, AppKind::Apache));
+        assert!(text.contains("Figure 1"));
+        for release in ["1.2.4", "1.3.0", "1.3.4", "1.3.9"] {
+            assert!(text.contains(release), "{release}");
+        }
+        assert!(text.contains("(6)"));
+        assert!(text.contains("(19)"));
+    }
+
+    #[test]
+    fn gnome_figure_is_monthly() {
+        let study = paper_study();
+        let text = render_time_figure(&by_month(&study, AppKind::Gnome));
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("1998-09"));
+        assert!(text.contains("1999-07"));
+        // The dip month has a single fault.
+        assert!(text.contains("(1)"));
+    }
+
+    #[test]
+    fn mysql_figure_marks_classes() {
+        let study = paper_study();
+        let text = render_release_figure(&by_release(&study, AppKind::Mysql));
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains('N'), "nontransient segment rendered");
+        assert!(text.contains('T'), "transient segment rendered");
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn bar_orders_segments() {
+        let mut c = ClassCounts::default();
+        c.bump(FaultClass::EnvDependentTransient);
+        c.bump(FaultClass::EnvironmentIndependent);
+        c.bump(FaultClass::EnvironmentIndependent);
+        c.bump(FaultClass::EnvDependentNonTransient);
+        assert_eq!(bar(&c), "##NT");
+    }
+}

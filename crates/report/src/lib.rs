@@ -1,0 +1,19 @@
+//! Rendering of the paper's tables and figures, plus the §7 Lee–Iyer
+//! reconciliation arithmetic.
+//!
+//! Everything renders to plain text so the `faultstudy` CLI can print the
+//! same rows and series the paper reports, and everything also serializes
+//! to JSON (`--json`) for downstream analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod figures;
+pub mod lee_iyer;
+pub mod tables;
+
+pub use compare::RelatedWork;
+pub use figures::{render_release_figure, render_time_figure};
+pub use lee_iyer::TandemReconciliation;
+pub use tables::{render_discussion, render_table};

@@ -1,0 +1,93 @@
+//! Text rendering of Tables 1–3 and the §5.4 discussion.
+
+use faultstudy_core::study::{Discussion, Study};
+use faultstudy_core::taxonomy::{AppKind, FaultClass};
+
+/// Renders one application's classification table in the paper's layout.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_core::taxonomy::AppKind;
+/// use faultstudy_corpus::paper_study;
+/// use faultstudy_report::render_table;
+///
+/// let text = render_table(&paper_study(), AppKind::Apache);
+/// assert!(text.contains("environment-independent"));
+/// assert!(text.contains("36"));
+/// ```
+pub fn render_table(study: &Study, app: AppKind) -> String {
+    let counts = study.table(app);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table {}: Classification of faults for {}\n",
+        app.table_number(),
+        app.name()
+    ));
+    out.push_str(&format!("{:-<54}\n", ""));
+    out.push_str(&format!("{:<40} {:>8}\n", "Class", "# Faults"));
+    out.push_str(&format!("{:-<54}\n", ""));
+    for class in FaultClass::ALL {
+        out.push_str(&format!("{:<40} {:>8}\n", class.label(), counts.get(class)));
+    }
+    out.push_str(&format!("{:-<54}\n", ""));
+    out.push_str(&format!("{:<40} {:>8}\n", "total", counts.total()));
+    out
+}
+
+/// Renders the §5.4 discussion numbers.
+pub fn render_discussion(d: &Discussion) -> String {
+    format!(
+        "Across all applications: {} faults.\n\
+         environment-dependent-nontransient: {} ({:.0}%)\n\
+         environment-dependent-transient:    {} ({:.0}%)\n\
+         environment-independent share per application: {:.0}%-{:.0}%\n",
+        d.total,
+        d.nontransient.0,
+        d.nontransient.1,
+        d.transient.0,
+        d.transient.1,
+        d.independent_range.0,
+        d.independent_range.1.ceil(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultstudy_corpus::paper_study;
+
+    #[test]
+    fn apache_table_rows_match_paper() {
+        let text = render_table(&paper_study(), AppKind::Apache);
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Apache"));
+        for (label, n) in [
+            ("environment-independent", 36),
+            ("environment-dependent-nontransient", 7),
+            ("environment-dependent-transient", 7),
+        ] {
+            let row = text.lines().find(|l| l.starts_with(label)).expect(label);
+            assert!(row.trim_end().ends_with(&n.to_string()), "{row}");
+        }
+        assert!(text.lines().any(|l| l.starts_with("total") && l.contains("50")));
+    }
+
+    #[test]
+    fn all_three_tables_render() {
+        let study = paper_study();
+        for app in AppKind::ALL {
+            let text = render_table(&study, app);
+            assert!(text.contains(&format!("Table {}", app.table_number())));
+        }
+    }
+
+    #[test]
+    fn discussion_mentions_headline_numbers() {
+        let text = render_discussion(&paper_study().discussion());
+        assert!(text.contains("139 faults"));
+        assert!(text.contains("14 (10%)"));
+        assert!(text.contains("12 (9%)"));
+        assert!(text.contains("72%-87%"));
+    }
+}

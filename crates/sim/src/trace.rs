@@ -1,0 +1,164 @@
+//! Bounded in-memory tracing for simulation runs.
+//!
+//! Experiments record what happened (fault injected, recovery invoked,
+//! environment perturbed, …) into a [`Trace`], a fixed-capacity ring that
+//! keeps the most recent entries. Tests assert against traces instead of
+//! peeking at private state.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One timestamped trace line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// When the entry was recorded, in simulated time.
+    pub at: SimTime,
+    /// Subsystem that recorded it (e.g. `"env.dns"`, `"recovery.pair"`).
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.source, self.message)
+    }
+}
+
+/// A bounded ring of [`TraceEntry`] values, oldest dropped first.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_sim::{trace::Trace, time::SimTime};
+/// let mut trace = Trace::with_capacity(2);
+/// trace.record(SimTime::ZERO, "a", "one");
+/// trace.record(SimTime::ZERO, "a", "two");
+/// trace.record(SimTime::ZERO, "a", "three"); // evicts "one"
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.contains("three"));
+/// assert!(!trace.contains("one"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(4096)
+    }
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace { entries: VecDeque::with_capacity(capacity.min(1024)), capacity }
+    }
+
+    /// Appends an entry, evicting the oldest if at capacity.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Whether any retained entry's message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Entries whose source starts with `prefix`, oldest first.
+    pub fn from_source<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.source.starts_with(prefix))
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::default();
+        t.record(SimTime::from_millis(1), "x", "first");
+        t.record(SimTime::from_millis(2), "y", "second");
+        let msgs: Vec<&str> = t.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["first", "second"]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..10 {
+            t.record(SimTime::ZERO, "s", format!("m{i}"));
+        }
+        let msgs: Vec<&str> = t.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["m7", "m8", "m9"]);
+    }
+
+    #[test]
+    fn filters_by_source_prefix() {
+        let mut t = Trace::default();
+        t.record(SimTime::ZERO, "env.dns", "lookup");
+        t.record(SimTime::ZERO, "env.fs", "write");
+        t.record(SimTime::ZERO, "env.dns", "timeout");
+        assert_eq!(t.from_source("env.dns").count(), 2);
+        assert_eq!(t.from_source("env.").count(), 3);
+        assert_eq!(t.from_source("recovery").count(), 0);
+    }
+
+    #[test]
+    fn display_formats_entry() {
+        let e = TraceEntry {
+            at: SimTime::from_millis(3),
+            source: "a".into(),
+            message: "b".into(),
+        };
+        assert_eq!(e.to_string(), "[3ms] a: b");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Trace::with_capacity(0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the simulation substrate.
+
+use faultstudy_sim::queue::EventQueue;
+use faultstudy_sim::rng::{DetRng, SplitMix64, Xoshiro256StarStar};
+use faultstudy_sim::sched::{Interleaver, StepOutcome, StepScheduler, Task};
+use faultstudy_sim::time::{Clock, Duration, SimTime};
+use faultstudy_sim::trace::Trace;
+use proptest::prelude::*;
+
+proptest! {
+    /// SimTime/Duration arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn time_add_then_subtract_round_trips(t in 0u64..1 << 40, d in 0u64..1 << 40) {
+        let t0 = SimTime::from_nanos(t);
+        let dur = Duration::from_nanos(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+        prop_assert_eq!(t0.saturating_add(dur).saturating_since(t0), dur);
+    }
+
+    /// Clock::advance accumulates exactly.
+    #[test]
+    fn clock_accumulates(steps in prop::collection::vec(0u64..1 << 20, 1..50)) {
+        let mut clock = Clock::new();
+        let mut total = 0u64;
+        for s in steps {
+            clock.advance(Duration::from_nanos(s));
+            total += s;
+            prop_assert_eq!(clock.now(), SimTime::from_nanos(total));
+        }
+    }
+
+    /// Two generators with the same seed emit identical streams; a
+    /// different seed diverges within a few draws (with overwhelming
+    /// probability — checked deterministically for the sampled seeds).
+    #[test]
+    fn xoshiro_streams_are_seed_determined(seed in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::seed_from(seed);
+        let mut b = Xoshiro256StarStar::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256StarStar::seed_from(seed.wrapping_add(1));
+        let divergent = (0..16).any(|_| a.next_u64() != c.next_u64());
+        prop_assert!(divergent);
+    }
+
+    /// `range` stays within bounds for arbitrary non-empty ranges.
+    #[test]
+    fn rng_range_is_bounded(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..16 {
+            let v = rng.range(lo, lo + width);
+            prop_assert!((lo..lo + width).contains(&v));
+        }
+    }
+
+    /// `chance(p)` over many draws lands near p (loose bound).
+    #[test]
+    fn rng_chance_tracks_probability(seed in any::<u64>(), p in 0.1f64..0.9) {
+        let mut rng = Xoshiro256StarStar::seed_from(seed);
+        let n = 2000;
+        let hits = (0..n).filter(|_| rng.chance(p)).count() as f64;
+        prop_assert!((hits / n as f64 - p).abs() < 0.08, "p={p} rate={}", hits / n as f64);
+    }
+
+    /// Shuffle is a permutation.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), mut items in prop::collection::vec(0u32..100, 0..40)) {
+        let mut rng = Xoshiro256StarStar::seed_from(seed);
+        let mut shuffled = items.clone();
+        rng.shuffle(&mut shuffled);
+        shuffled.sort_unstable();
+        items.sort_unstable();
+        prop_assert_eq!(shuffled, items);
+    }
+
+    /// Draining a queue yields exactly the scheduled events, time-ordered.
+    #[test]
+    fn queue_drains_everything_in_order(times in prop::collection::vec(0u64..1000, 0..80)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(*t), i);
+        }
+        let mut drained = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            drained.push(idx);
+        }
+        drained.sort_unstable();
+        prop_assert_eq!(drained, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// A scheduler over counter tasks conserves the total work regardless
+    /// of the interleaving seed.
+    #[test]
+    fn scheduler_conserves_work(seed in any::<u64>(), counts in prop::collection::vec(1u32..8, 1..6)) {
+        struct Counter(u32);
+        impl Task<u64> for Counter {
+            fn step(&mut self, shared: &mut u64) -> StepOutcome {
+                if self.0 == 0 {
+                    return StepOutcome::Done;
+                }
+                self.0 -= 1;
+                *shared += 1;
+                StepOutcome::Ready
+            }
+        }
+        let mut sched = StepScheduler::new(0u64, Interleaver::Seeded(seed));
+        let expected: u32 = counts.iter().sum();
+        for c in counts {
+            sched.spawn(Counter(c));
+        }
+        let (total, report) = sched.run(10_000);
+        prop_assert!(report.succeeded());
+        prop_assert_eq!(total, u64::from(expected));
+    }
+
+    /// The trace ring never exceeds its capacity and keeps the newest
+    /// entries.
+    #[test]
+    fn trace_ring_keeps_newest(cap in 1usize..20, n in 0usize..60) {
+        let mut trace = Trace::with_capacity(cap);
+        for i in 0..n {
+            trace.record(SimTime::from_nanos(i as u64), "s", format!("m{i}"));
+        }
+        prop_assert!(trace.len() <= cap);
+        if n > 0 {
+            prop_assert!(trace.contains(&format!("m{}", n - 1)), "newest retained");
+        }
+        if n > cap {
+            prop_assert!(!trace.contains("m0 "), "oldest evicted");
+            prop_assert_eq!(trace.len(), cap);
+        }
+    }
+}

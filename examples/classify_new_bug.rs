@@ -1,0 +1,57 @@
+//! Classify an arbitrary bug-report text from the command line.
+//!
+//! ```sh
+//! cargo run --example classify_new_bug -- "server crashes whenever the \
+//!     file system is full"
+//! cargo run --example classify_new_bug      # runs built-in samples
+//! ```
+
+use faultstudy::core::classify::Classifier;
+use faultstudy::core::evidence::Evidence;
+use faultstudy::core::taxonomy::FaultClass;
+
+const SAMPLES: &[&str] = &[
+    "the server dies with a segfault every time a long URL is submitted",
+    "intermittent crash; looks like a race condition between two worker threads",
+    "all writes fail once the file system is full; still broken after restart",
+    "unknown failure of the applet which works on a retry",
+    "sometimes the daemon wedges under load, cannot reproduce on the dev box",
+];
+
+fn classify(text: &str) {
+    let evidence = Evidence::from_text(text);
+    let verdict = Classifier::default().classify_evidence(&evidence);
+    println!("report: {text}");
+    println!("  class:      {}", verdict.class);
+    println!("  rationale:  {}", verdict.rationale);
+    println!("  confidence: {}", verdict.confidence);
+    if !verdict.conditions.is_empty() {
+        let slugs: Vec<&str> = verdict.conditions.iter().map(|c| c.slug()).collect();
+        println!("  conditions: {}", slugs.join(", "));
+    }
+    let prognosis = match verdict.class {
+        FaultClass::EnvironmentIndependent => {
+            "deterministic: prevent it (testing, tools); recovery cannot help"
+        }
+        FaultClass::EnvDependentNonTransient => {
+            "the condition persists on retry: needs application-specific recovery \
+             or resource management"
+        }
+        FaultClass::EnvDependentTransient => {
+            "a Heisenbug: rollback-and-retry style generic recovery should survive it"
+        }
+    };
+    println!("  prognosis:  {prognosis}");
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for sample in SAMPLES {
+            classify(sample);
+        }
+    } else {
+        classify(&args.join(" "));
+    }
+}

@@ -1,0 +1,35 @@
+//! Process pairs on real OS threads: the mechanism of [Gray86] and why it
+//! only helps with Heisenbugs.
+//!
+//! ```sh
+//! cargo run --example process_pair_threads
+//! ```
+
+use faultstudy::recovery::thread_pair::{run_pair, Op};
+
+fn main() {
+    println!("== fault-free run ==");
+    let ok = run_pair(&[Op::Add(1), Op::Add(2), Op::Add(3)]);
+    println!("result={:?} failed_over={}", ok.result, ok.failed_over);
+
+    println!();
+    println!("== transient fault (Heisenbug): primary dies, backup finishes ==");
+    let transient = run_pair(&[Op::Add(10), Op::TransientFault(5), Op::Add(1)]);
+    println!(
+        "result={:?} failed_over={} primary_completed={}",
+        transient.result, transient.failed_over, transient.primary_completed
+    );
+
+    println!();
+    println!("== deterministic fault (Bohrbug): the pair cannot help ==");
+    let poison = run_pair(&[Op::Add(1), Op::PoisonFault, Op::Add(2)]);
+    println!(
+        "result={:?} failed_over={} — both replicas executed the poison op and died",
+        poison.result, poison.failed_over
+    );
+    println!();
+    println!(
+        "The study found 72-87% of application faults are deterministic, so this \
+     second outcome is the common case — the paper's core argument."
+    );
+}

@@ -1,0 +1,36 @@
+//! Quickstart: load the corpus, reproduce Table 1, and classify a fresh
+//! bug report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use faultstudy::core::classify::Classifier;
+use faultstudy::core::report::BugReport;
+use faultstudy::core::taxonomy::{AppKind, Severity};
+use faultstudy::corpus::paper_study;
+use faultstudy::report::render_table;
+
+fn main() {
+    // The paper's study, aggregated from the curated 139-fault corpus.
+    let study = paper_study();
+    println!("{}", render_table(&study, AppKind::Apache));
+
+    // Classifying a new report uses the same rules the corpus encodes.
+    let report = BugReport::builder(AppKind::Mysql, 4242)
+        .title("server dies under parallel shutdown")
+        .how_to_repeat(
+            "hard to reproduce; looks like a race condition between the \
+             masking of a signal and its arrival during shutdown",
+        )
+        .severity(Severity::Critical)
+        .build();
+    let verdict = Classifier::default().classify_report(&report);
+    println!("new report #{} -> {}", report.id, verdict.class);
+    println!("  rationale: {}", verdict.rationale);
+    println!("  confidence: {}", verdict.confidence);
+    println!(
+        "  generic recovery expected to survive it: {}",
+        verdict.class.generic_recovery_expected()
+    );
+}

@@ -1,0 +1,42 @@
+//! # faultstudy
+//!
+//! Umbrella crate for the reproduction of *"Whither Generic Recovery from
+//! Application Faults? A Fault Study using Open-Source Software"*
+//! (Chandra & Chen, DSN 2000).
+//!
+//! This crate re-exports every sub-crate of the workspace under one roof so
+//! that examples, integration tests, and downstream users can depend on a
+//! single package:
+//!
+//! - [`sim`] — deterministic discrete-event substrate.
+//! - [`env`] — the simulated operating environment.
+//! - [`core`] — fault taxonomy, bug-report model, classifier, study tables.
+//! - [`corpus`] — the curated 139-fault corpus and synthetic generators.
+//! - [`mining`] — bug-archive models and the selection pipeline of §4.
+//! - [`apps`] — simulated applications with injectable faults.
+//! - [`recovery`] — generic (and comparison app-specific) recovery strategies.
+//! - [`harness`] — the experiment runner and per-class survival matrix.
+//! - [`report`] — table/figure rendering and the Lee–Iyer reconciliation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use faultstudy::corpus::full_corpus;
+//! use faultstudy::core::study::Study;
+//!
+//! let corpus = full_corpus();
+//! let study = Study::from_faults(corpus.iter().map(|f| f.as_classified()));
+//! assert_eq!(study.total(), 139);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use faultstudy_apps as apps;
+pub use faultstudy_core as core;
+pub use faultstudy_corpus as corpus;
+pub use faultstudy_env as env;
+pub use faultstudy_harness as harness;
+pub use faultstudy_mining as mining;
+pub use faultstudy_recovery as recovery;
+pub use faultstudy_report as report;
+pub use faultstudy_sim as sim;

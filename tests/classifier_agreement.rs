@@ -1,0 +1,99 @@
+//! Integration: the evidence extractor + classifier reproduce the curated
+//! classification from the synthesized bug-report *text* alone, for all
+//! 139 faults — the link between the paper's raw material (reports) and
+//! its results (tables).
+
+use faultstudy::core::classify::{Classifier, Confidence};
+use faultstudy::core::evidence::Evidence;
+use faultstudy::core::taxonomy::FaultClass;
+use faultstudy::corpus::full_corpus;
+
+#[test]
+fn classifier_agrees_with_the_corpus_on_every_fault() {
+    let classifier = Classifier::default();
+    let mut disagreements = Vec::new();
+    for (i, fault) in full_corpus().iter().enumerate() {
+        let report = fault.report(i as u64 + 1);
+        let verdict = classifier.classify_report(&report);
+        if verdict.class != fault.class() {
+            disagreements.push(format!(
+                "{}: corpus={} classifier={} ({})",
+                fault.slug(),
+                fault.class(),
+                verdict.class,
+                verdict.rationale
+            ));
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "classifier disagreed on {} of 139:\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+}
+
+#[test]
+fn environment_dependent_verdicts_name_the_corpus_trigger() {
+    let classifier = Classifier::default();
+    for (i, fault) in full_corpus().iter().enumerate() {
+        let Some(trigger) = fault.trigger() else { continue };
+        let verdict = classifier.classify_report(&fault.report(i as u64 + 1));
+        assert!(
+            verdict.conditions.contains(&trigger),
+            "{}: verdict conditions {:?} miss corpus trigger {trigger}",
+            fault.slug(),
+            verdict.conditions
+        );
+    }
+}
+
+#[test]
+fn environment_dependent_verdicts_are_high_confidence() {
+    let classifier = Classifier::default();
+    for (i, fault) in full_corpus().iter().enumerate() {
+        if fault.class() == FaultClass::EnvironmentIndependent {
+            continue;
+        }
+        let verdict = classifier.classify_report(&fault.report(i as u64 + 1));
+        assert_eq!(
+            verdict.confidence,
+            Confidence::High,
+            "{}: trigger text should give high confidence",
+            fault.slug()
+        );
+    }
+}
+
+#[test]
+fn environment_independent_reports_carry_no_conditions() {
+    for (i, fault) in full_corpus().iter().enumerate() {
+        if fault.class() != FaultClass::EnvironmentIndependent {
+            continue;
+        }
+        let evidence = Evidence::extract(&fault.report(i as u64 + 1));
+        assert!(
+            evidence.conditions.is_empty(),
+            "{}: EI report text matched lexicon conditions {:?}",
+            fault.slug(),
+            evidence.conditions
+        );
+        assert_eq!(
+            evidence.deterministic_repro,
+            Some(true),
+            "{}: EI report should read as deterministically reproducible",
+            fault.slug()
+        );
+    }
+}
+
+#[test]
+fn classification_is_stable_under_report_id_and_repeat_field_noise() {
+    // The verdict depends on the text, not on archive metadata.
+    let classifier = Classifier::default();
+    for fault in full_corpus().iter().take(20) {
+        let a = classifier.classify_report(&fault.report(1));
+        let b = classifier.classify_report(&fault.report(99_999));
+        assert_eq!(a.class, b.class, "{}", fault.slug());
+    }
+}

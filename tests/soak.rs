@@ -1,0 +1,93 @@
+//! Soak tests: long mixed workloads with mid-stream fault injection, the
+//! closest the suite comes to the paper's production setting.
+
+use faultstudy::apps::spawn_app;
+use faultstudy::core::taxonomy::AppKind;
+use faultstudy::env::Environment;
+use faultstudy::harness::workload::WorkloadGen;
+use faultstudy::recovery::{run_workload, ProgressiveRetry, RestartRetry};
+
+fn big_env(seed: u64) -> Environment {
+    Environment::builder()
+        .seed(seed)
+        .fd_limit(128)
+        .proc_slots(64)
+        .fs_capacity(1 << 24)
+        .max_file_size(1 << 22)
+        .build()
+}
+
+#[test]
+fn thousand_request_soak_without_faults_is_clean() {
+    for app_kind in AppKind::ALL {
+        let mut env = big_env(1);
+        let mut app = spawn_app(app_kind, &mut env);
+        let workload = WorkloadGen::new(app_kind, 2).take_requests(1000);
+        let mut strategy = RestartRetry::new(1);
+        let run = run_workload(app.as_mut(), &mut env, &workload, &mut strategy);
+        assert!(run.survived, "{app_kind}: {:?}", run.last_failure);
+        assert_eq!(run.completed, 1000, "{app_kind}");
+        assert_eq!(run.failures, 0, "{app_kind}");
+        assert_eq!(run.recoveries, 0, "{app_kind}");
+    }
+}
+
+#[test]
+fn transient_fault_mid_soak_recovers_and_load_continues() {
+    // 200 requests, the process-table fault's trigger in the middle.
+    let mut env = big_env(3);
+    let mut app = spawn_app(AppKind::Apache, &mut env);
+    app.inject("apache-edt-02", &mut env).expect("injectable");
+    let mut workload = WorkloadGen::new(AppKind::Apache, 4).take_requests(100);
+    workload.push(app.trigger_request("apache-edt-02").expect("trigger"));
+    workload.extend(WorkloadGen::new(AppKind::Apache, 5).take_requests(100));
+    let mut strategy = ProgressiveRetry::new(5);
+    let run = run_workload(app.as_mut(), &mut env, &workload, &mut strategy);
+    assert!(run.survived, "{:?}", run.last_failure);
+    assert_eq!(run.completed, 201);
+    assert!(run.failures >= 1, "the injected fault must manifest");
+}
+
+#[test]
+fn deterministic_fault_mid_soak_halts_progress_at_the_trigger() {
+    let mut env = big_env(3);
+    let mut app = spawn_app(AppKind::Mysql, &mut env);
+    app.inject("mysql-ei-04", &mut env).expect("injectable");
+    let mut workload = WorkloadGen::new(AppKind::Mysql, 6).take_requests(50);
+    workload.push(app.trigger_request("mysql-ei-04").expect("trigger"));
+    workload.extend(WorkloadGen::new(AppKind::Mysql, 7).take_requests(50));
+    let mut strategy = RestartRetry::new(3);
+    let run = run_workload(app.as_mut(), &mut env, &workload, &mut strategy);
+    assert!(!run.survived);
+    assert_eq!(run.completed, 50, "everything before the trigger was served");
+    assert_eq!(run.failures, 4, "initial failure plus three futile retries");
+}
+
+#[test]
+fn soak_outcomes_are_reproducible() {
+    let run_once = || {
+        let mut env = big_env(9);
+        let mut app = spawn_app(AppKind::Gnome, &mut env);
+        app.inject("gnome-edt-02", &mut env).expect("injectable");
+        let mut workload = WorkloadGen::new(AppKind::Gnome, 10).take_requests(60);
+        workload.push(app.trigger_request("gnome-edt-02").expect("trigger"));
+        let mut strategy = ProgressiveRetry::new(5);
+        run_workload(app.as_mut(), &mut env, &workload, &mut strategy)
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn injected_but_untriggered_fault_is_latent() {
+    // A defect that never meets its trigger does not perturb the workload:
+    // the paper's faults sat in released software until the workload found
+    // them.
+    let mut env = big_env(12);
+    let mut app = spawn_app(AppKind::Apache, &mut env);
+    app.inject("apache-ei-01", &mut env).expect("injectable");
+    let workload = WorkloadGen::new(AppKind::Apache, 13).take_requests(300);
+    let mut strategy = RestartRetry::new(0);
+    let run = run_workload(app.as_mut(), &mut env, &workload, &mut strategy);
+    assert!(run.survived, "{:?}", run.last_failure);
+    assert_eq!(run.failures, 0, "the long-URL bug is latent under normal load");
+}
