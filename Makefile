@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain cargo underneath.
+
+.PHONY: build test bench-parallel verify fmt lint
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+# Writes BENCH_parallel.json: campaign/mining throughput at 1..N threads.
+bench-parallel:
+	sh scripts/bench_parallel.sh
+
+verify:
+	cargo run --release -p faultstudy-harness --bin faultstudy -- verify
+
+fmt:
+	cargo fmt --all -- --check
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings

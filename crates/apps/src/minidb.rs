@@ -110,8 +110,7 @@ impl MiniDb {
         Ok(Response::Ok(msg.into()))
     }
 
-    fn create_table(&mut self, rest: &str, env: &mut Environment)
-        -> Result<Response, AppFailure> {
+    fn create_table(&mut self, rest: &str, env: &mut Environment) -> Result<Response, AppFailure> {
         // CREATE TABLE <name> (<c1>, <c2>, ...)
         let Some((name, cols)) = rest.split_once('(') else {
             return Ok(Response::Denied("syntax error in CREATE TABLE".into()));
@@ -145,7 +144,9 @@ impl MiniDb {
         if env.fs.write(format!("minidb/{name}.dat"), 0).is_err() {
             return Ok(Response::Denied("cannot create data file".into()));
         }
-        self.state.tables.insert(name.clone(), Table { columns, rows: Vec::new(), indexed: Some(0) });
+        self.state
+            .tables
+            .insert(name.clone(), Table { columns, rows: Vec::new(), indexed: Some(0) });
         self.ok(format!("created {name}"))
     }
 
@@ -179,9 +180,7 @@ impl MiniDb {
                 ));
             }
             Err(FsError::NoSpace { .. }) if self.bug("mysql-edn-04") => {
-                return Err(AppFailure::ErrorReturn(
-                    "write failed: file system full".into(),
-                ));
+                return Err(AppFailure::ErrorReturn("write failed: file system full".into()));
             }
             Err(e) => return Ok(Response::Denied(format!("insert failed: {e}"))),
         }
@@ -275,7 +274,7 @@ impl MiniDb {
         // for all matching rows, then updates.
         let mut updated = 0u32;
         for i in 0..table.rows.len() {
-            let matches = filter.map_or(true, |(ci, v)| table.rows[i][ci] == v);
+            let matches = filter.is_none_or(|(ci, v)| table.rows[i][ci] == v);
             if !matches {
                 continue;
             }
@@ -325,9 +324,7 @@ impl MiniDb {
         let fd = match env.fds.open(self.owner) {
             Ok(fd) => fd,
             Err(_) if self.bug("mysql-edn-01") => {
-                return Err(AppFailure::Crash(
-                    "accept failed: out of file descriptors".into(),
-                ));
+                return Err(AppFailure::Crash("accept failed: out of file descriptors".into()));
             }
             Err(_) => return Ok(Response::Denied("too many connections".into())),
         };
@@ -344,8 +341,12 @@ impl MiniDb {
         }
     }
 
-    fn race(&mut self, slug: &str, what: &str, env: &mut Environment)
-        -> Result<Response, AppFailure> {
+    fn race(
+        &mut self,
+        slug: &str,
+        what: &str,
+        env: &mut Environment,
+    ) -> Result<Response, AppFailure> {
         if !self.bug(slug) {
             return self.ok(format!("{what} complete"));
         }
@@ -678,10 +679,7 @@ mod tests {
         let req = db.trigger_request("mysql-edn-01").unwrap();
         assert!(db.handle(&req, &mut env).is_err());
         env.on_generic_recovery(db.owner());
-        assert!(
-            db.handle(&req, &mut env).is_err(),
-            "the web server still holds the descriptors"
-        );
+        assert!(db.handle(&req, &mut env).is_err(), "the web server still holds the descriptors");
     }
 
     #[test]

@@ -52,10 +52,7 @@ impl MiniDe {
         let owner = env.register_owner("minide");
         MiniDe {
             owner,
-            state: DeState {
-                boot_hostname: env.host.hostname().to_owned(),
-                ..DeState::default()
-            },
+            state: DeState { boot_hostname: env.host.hostname().to_owned(), ..DeState::default() },
         }
     }
 
@@ -81,9 +78,9 @@ impl MiniDe {
             "calendar-prev-year" if self.bug("gnome-ei-02") => Err(AppFailure::Crash(
                 "year view assigned a local copy instead of the global".into(),
             )),
-            "gnumeric-define-name-tab" if self.bug("gnome-ei-03") => Err(AppFailure::Crash(
-                "dialog variable initialized to an incorrect value".into(),
-            )),
+            "gnumeric-define-name-tab" if self.bug("gnome-ei-03") => {
+                Err(AppFailure::Crash("dialog variable initialized to an incorrect value".into()))
+            }
             "desktop-dismiss-menu" if self.bug("gnome-ei-05") => {
                 Err(AppFailure::Hang("grab handling deadlocked dismissing the menu".into()))
             }
@@ -127,17 +124,19 @@ impl MiniDe {
     fn edit_properties(&mut self, path: &str, env: &Environment) -> Result<Response, AppFailure> {
         match env.fs.stat_checked(path) {
             Ok(_) => self.ok(format!("properties of {path}")),
-            Err(FsError::CorruptMetadata(_)) if self.bug("gnome-edn-03") => {
-                Err(AppFailure::Crash(format!(
-                    "properties dialog crashed on illegal owner field of {path}"
-                )))
-            }
+            Err(FsError::CorruptMetadata(_)) if self.bug("gnome-edn-03") => Err(AppFailure::Crash(
+                format!("properties dialog crashed on illegal owner field of {path}"),
+            )),
             Err(e) => Ok(Response::Denied(format!("cannot stat {path}: {e}"))),
         }
     }
 
-    fn race(&mut self, slug: &str, what: &str, env: &mut Environment)
-        -> Result<Response, AppFailure> {
+    fn race(
+        &mut self,
+        slug: &str,
+        what: &str,
+        env: &mut Environment,
+    ) -> Result<Response, AppFailure> {
         if !self.bug(slug) {
             return self.ok(format!("{what} done"));
         }
@@ -264,11 +263,9 @@ impl Application for MiniDe {
             "gnome-ei-03" => Request::new("CLICK gnumeric-define-name-tab"),
             "gnome-ei-04" => Request::new("OPEN desktop/archive.tar.gz"),
             "gnome-ei-05" => Request::new("CLICK desktop-dismiss-menu"),
-            "gnome-ei-18" => Request::new(format!(
-                "FORMULA {}1{}",
-                "(".repeat(255),
-                ")".repeat(255)
-            )),
+            "gnome-ei-18" => {
+                Request::new(format!("FORMULA {}1{}", "(".repeat(255), ")".repeat(255)))
+            }
             s if s.starts_with("gnome-ei-") => Request::new(format!("PROBE {s}")),
             "gnome-edn-01" => Request::new("OPEN-DISPLAY"),
             "gnome-edn-02" => Request::new("PLAY-SOUND"),

@@ -38,7 +38,7 @@ const REALM_BUFFER: usize = 256;
 const KEEPALIVE_WRAP: u64 = 32768;
 
 /// The checkpointable state of the server.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct WebState {
     enabled_bugs: BTreeSet<String>,
     served: u64,
@@ -46,18 +46,6 @@ struct WebState {
     cache_seq: u64,
     /// Requests on the current keep-alive connection (apache-ei-19).
     keepalive_count: u64,
-}
-
-impl Default for WebState {
-    fn default() -> Self {
-        WebState {
-            enabled_bugs: BTreeSet::new(),
-            served: 0,
-            leak_units: 0,
-            cache_seq: 0,
-            keepalive_count: 0,
-        }
-    }
 }
 
 /// The Apache-like web server.
@@ -111,18 +99,18 @@ impl MiniWeb {
         }
     }
 
-    fn serve_get(&mut self, path: &str, req: &Request, env: &mut Environment)
-        -> Result<Response, AppFailure> {
+    fn serve_get(
+        &mut self,
+        path: &str,
+        req: &Request,
+        env: &mut Environment,
+    ) -> Result<Response, AppFailure> {
         // --- the named environment-independent defects ---
         if self.bug("apache-ei-01") && path.len() > 1024 {
-            return Err(AppFailure::Crash(
-                "segfault: overflow in the URL hash calculation".into(),
-            ));
+            return Err(AppFailure::Crash("segfault: overflow in the URL hash calculation".into()));
         }
         if self.bug("apache-ei-03") && path == "/nonexistent" {
-            return Err(AppFailure::Crash(
-                "core dump: va_list reused in ap_log_rerror".into(),
-            ));
+            return Err(AppFailure::Crash("core dump: va_list reused in ap_log_rerror".into()));
         }
         if self.bug("apache-ei-04") && path.starts_with("/dir-empty") {
             return Err(AppFailure::Crash(
@@ -159,29 +147,25 @@ impl MiniWeb {
 
         // --- environment-dependent paths ---
         match path {
-            "/burst" => {
-                if self.bug("apache-edn-01") {
-                    self.state.leak_units += 1;
-                    if self.state.leak_units >= LEAK_CRASH_UNITS {
-                        return Err(AppFailure::Crash(
-                            "address space exhausted by leaked allocations".into(),
-                        ));
-                    }
+            "/burst" if self.bug("apache-edn-01") => {
+                self.state.leak_units += 1;
+                if self.state.leak_units >= LEAK_CRASH_UNITS {
+                    return Err(AppFailure::Crash(
+                        "address space exhausted by leaked allocations".into(),
+                    ));
                 }
             }
-            "/file" => {
-                match env.fds.open(self.owner) {
-                    Ok(fd) => {
-                        let _ = env.fds.close(fd);
-                    }
-                    Err(_) if self.bug("apache-edn-02") => {
-                        return Err(AppFailure::Crash(
-                            "unchecked open failure: out of file descriptors".into(),
-                        ));
-                    }
-                    Err(_) => return Ok(Response::Denied("try again later".into())),
+            "/file" => match env.fds.open(self.owner) {
+                Ok(fd) => {
+                    let _ = env.fds.close(fd);
                 }
-            }
+                Err(_) if self.bug("apache-edn-02") => {
+                    return Err(AppFailure::Crash(
+                        "unchecked open failure: out of file descriptors".into(),
+                    ));
+                }
+                Err(_) => return Ok(Response::Denied("try again later".into())),
+            },
             "/cached" => {
                 self.state.cache_seq += 1;
                 let name = format!("miniweb/cache/tmp{}", self.state.cache_seq);
@@ -195,17 +179,13 @@ impl MiniWeb {
                     Err(_) => return Ok(Response::Denied("cache unavailable".into())),
                 }
             }
-            "/keepalive" => {
-                match env.net.consume_resource(8) {
-                    Ok(()) => {}
-                    Err(NetError::ResourceExhausted) if self.bug("apache-edn-06") => {
-                        return Err(AppFailure::ErrorReturn(
-                            "network resource exhausted".into(),
-                        ));
-                    }
-                    Err(_) => return Ok(Response::Denied("connection refused".into())),
+            "/keepalive" => match env.net.consume_resource(8) {
+                Ok(()) => {}
+                Err(NetError::ResourceExhausted) if self.bug("apache-edn-06") => {
+                    return Err(AppFailure::ErrorReturn("network resource exhausted".into()));
                 }
-            }
+                Err(_) => return Ok(Response::Denied("connection refused".into())),
+            },
             "/remote" => {
                 if !env.host.hardware_present(HardwareComponent::PcmciaNic)
                     && self.bug("apache-edn-07")
@@ -225,12 +205,10 @@ impl MiniWeb {
                     Err(_) => return Ok(Response::Denied("link unavailable".into())),
                 }
             }
-            "/download" => {
-                if req.timing_event && self.bug("apache-edt-03") {
-                    return Err(AppFailure::Crash(
-                        "client pressed stop mid-download; abort path corrupts the pool".into(),
-                    ));
-                }
+            "/download" if req.timing_event && self.bug("apache-edt-03") => {
+                return Err(AppFailure::Crash(
+                    "client pressed stop mid-download; abort path corrupts the pool".into(),
+                ));
             }
             _ => {}
         }
@@ -425,8 +403,8 @@ impl Application for MiniWeb {
             }
             "apache-edt-02" => {
                 // Hung children from peak load fill the process table.
-                let pids: Vec<_> = std::iter::from_fn(|| env.procs.spawn(self.owner).ok())
-                    .collect();
+                let pids: Vec<_> =
+                    std::iter::from_fn(|| env.procs.spawn(self.owner).ok()).collect();
                 for pid in pids {
                     env.procs.hang(pid).expect("fresh child exists");
                 }
@@ -438,10 +416,8 @@ impl Application for MiniWeb {
                 env.procs.hang(pid).expect("child hangs");
             }
             "apache-edt-05" => {
-                env.dns.set_health(
-                    faultstudy_env::dns::DnsHealth::Slow,
-                    now + Duration::from_secs(2),
-                );
+                env.dns
+                    .set_health(faultstudy_env::dns::DnsHealth::Slow, now + Duration::from_secs(2));
             }
             "apache-edt-06" => {
                 env.net.set_quality(
@@ -747,10 +723,7 @@ mod tests {
         let mut fresh_env = Environment::builder().seed(8).build();
         let mut fresh = MiniWeb::new(&mut fresh_env);
         fresh.inject("apache-ei-19", &mut fresh_env).unwrap();
-        assert!(fresh
-            .handle(&Request::new("KEEPALIVE 100"), &mut fresh_env)
-            .unwrap()
-            .is_ok());
+        assert!(fresh.handle(&Request::new("KEEPALIVE 100"), &mut fresh_env).unwrap().is_ok());
     }
 
     #[test]

@@ -108,7 +108,8 @@ impl RaceGadget {
     /// assert!(gadget.run(crashing).is_err());
     /// ```
     pub fn run(&self, interleaver: Interleaver) -> Result<(), String> {
-        let mut sched = StepScheduler::new(Slot { resource: Some(7), user_done: false }, interleaver);
+        let mut sched =
+            StepScheduler::new(Slot { resource: Some(7), user_done: false }, interleaver);
         sched.spawn(UserTask { prepare_left: self.user_prepare_steps });
         sched.spawn(RemoverTask { delay_left: self.remover_delay_steps });
         let (slot, report) = sched.run(10_000);
@@ -141,9 +142,8 @@ impl RaceGadget {
     /// Fraction of seeds in `0..samples` whose interleaving crashes; the
     /// gadget's empirical race window.
     pub fn crash_rate(&self, samples: u64) -> f64 {
-        let crashes = (0..samples)
-            .filter(|seed| self.run(Interleaver::Seeded(*seed)).is_err())
-            .count();
+        let crashes =
+            (0..samples).filter(|seed| self.run(Interleaver::Seeded(*seed)).is_err()).count();
         crashes as f64 / samples as f64
     }
 }

@@ -10,12 +10,7 @@ fn app_strategy() -> impl Strategy<Value = AppKind> {
 }
 
 fn big_env(seed: u64) -> Environment {
-    Environment::builder()
-        .seed(seed)
-        .fd_limit(64)
-        .proc_slots(32)
-        .fs_capacity(1 << 22)
-        .build()
+    Environment::builder().seed(seed).fd_limit(64).proc_slots(32).fs_capacity(1 << 22).build()
 }
 
 proptest! {

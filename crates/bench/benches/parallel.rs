@@ -1,0 +1,54 @@
+//! Benchmarks of the deterministic parallel executor: campaign and mining
+//! throughput at 1 vs N worker threads. Because results are byte-identical
+//! at any thread count, these benches measure pure scheduling overhead and
+//! speedup — the perf trajectory tracked in `BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_corpus::{PopulationSpec, SyntheticPopulation};
+use faultstudy_exec::ParallelSpec;
+use faultstudy_harness::campaign::{CampaignReport, CampaignSpec};
+use faultstudy_mining::{Archive, SelectionPipeline};
+use std::hint::black_box;
+
+fn thread_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 2, 4, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn bench_campaign_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_parallel");
+    group.sample_size(10);
+    let spec = CampaignSpec { samples: 500, seed: 2000 };
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                black_box(CampaignReport::run_with(black_box(spec), ParallelSpec::threads(threads)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mining_parallel");
+    group.sample_size(10);
+    let population =
+        SyntheticPopulation::generate(&PopulationSpec::paper_scale(AppKind::Mysql, 2000));
+    let archive = Archive::new(AppKind::Mysql, population.reports.clone());
+    let pipeline = SelectionPipeline::for_app(AppKind::Mysql);
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                black_box(pipeline.run_with(black_box(&archive), ParallelSpec::threads(threads)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_parallel, bench_mining_parallel);
+criterion_main!(benches);

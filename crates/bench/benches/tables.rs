@@ -19,7 +19,8 @@ fn bench_tables(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("tables");
     group.bench_function("table1_apache", |b| {
-        let faults: Vec<_> = corpus_for(AppKind::Apache).iter().map(|f| f.as_classified()).collect();
+        let faults: Vec<_> =
+            corpus_for(AppKind::Apache).iter().map(|f| f.as_classified()).collect();
         b.iter(|| {
             let study = Study::from_faults(black_box(faults.clone()));
             black_box(render_table(&study, AppKind::Apache))

@@ -1,0 +1,94 @@
+//! Writes `BENCH_parallel.json`: campaign samples/sec and mining
+//! reports/sec at 1..N worker threads, so successive PRs can track the
+//! parallel-throughput trajectory.
+//!
+//! ```text
+//! cargo run --release -p faultstudy-bench --bin bench_parallel [OUT_PATH]
+//! ```
+
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_corpus::{PopulationSpec, SyntheticPopulation};
+use faultstudy_exec::ParallelSpec;
+use faultstudy_harness::campaign::{CampaignReport, CampaignSpec};
+use faultstudy_mining::{Archive, SelectionPipeline};
+use std::time::Instant;
+
+const CAMPAIGN_SAMPLES: u32 = 500;
+const CAMPAIGN_SEED: u64 = 2000;
+const REPS: u32 = 3;
+
+fn thread_counts(host: usize) -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Best-of-`REPS` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let spec = CampaignSpec { samples: CAMPAIGN_SAMPLES, seed: CAMPAIGN_SEED };
+
+    let population =
+        SyntheticPopulation::generate(&PopulationSpec::paper_scale(AppKind::Mysql, CAMPAIGN_SEED));
+    let archive = Archive::new(AppKind::Mysql, population.reports.clone());
+    let pipeline = SelectionPipeline::for_app(AppKind::Mysql);
+
+    let mut campaign_rows = Vec::new();
+    let mut mining_rows = Vec::new();
+    for threads in thread_counts(host) {
+        let parallel = ParallelSpec::threads(threads);
+        let secs = time_best(|| {
+            std::hint::black_box(CampaignReport::run_with(spec, parallel));
+        });
+        let samples_per_sec = f64::from(CAMPAIGN_SAMPLES) / secs;
+        eprintln!("campaign {threads:>2} threads: {samples_per_sec:>10.1} samples/sec");
+        campaign_rows.push(serde_json::json!({
+            "threads": threads,
+            "seconds": secs,
+            "samples_per_sec": samples_per_sec,
+        }));
+
+        let secs = time_best(|| {
+            std::hint::black_box(pipeline.run_with(&archive, parallel));
+        });
+        let reports_per_sec = archive.len() as f64 / secs;
+        eprintln!("mining   {threads:>2} threads: {reports_per_sec:>10.1} reports/sec");
+        mining_rows.push(serde_json::json!({
+            "threads": threads,
+            "seconds": secs,
+            "reports_per_sec": reports_per_sec,
+        }));
+    }
+
+    let campaign = serde_json::json!({
+        "samples": CAMPAIGN_SAMPLES,
+        "seed": CAMPAIGN_SEED,
+        "per_threads": campaign_rows,
+    });
+    let mining = serde_json::json!({
+        "app": "mysql",
+        "archive_size": archive.len(),
+        "seed": CAMPAIGN_SEED,
+        "per_threads": mining_rows,
+    });
+    let doc = serde_json::json!({
+        "host_available_parallelism": host,
+        "campaign": campaign,
+        "mining": mining,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
+    std::fs::write(&out_path, rendered + "\n").expect("write BENCH_parallel.json");
+    eprintln!("wrote {out_path}");
+}

@@ -160,10 +160,7 @@ impl Classifier {
                 Classification {
                     class: FaultClass::EnvDependentNonTransient,
                     conditions: evidence.conditions.clone(),
-                    rationale: format!(
-                        "condition(s) {} persist on retry",
-                        slugs(&persisting)
-                    ),
+                    rationale: format!("condition(s) {} persist on retry", slugs(&persisting)),
                     confidence: Confidence::High,
                 }
             }
@@ -298,14 +295,8 @@ mod tests {
             resources_garbage_collected: false,
         });
         let ev = Evidence::of_conditions([ConditionKind::FileSystemFull]);
-        assert_eq!(
-            optimistic.classify_evidence(&ev).class,
-            FaultClass::EnvDependentTransient
-        );
-        assert_eq!(
-            c().classify_evidence(&ev).class,
-            FaultClass::EnvDependentNonTransient
-        );
+        assert_eq!(optimistic.classify_evidence(&ev).class, FaultClass::EnvDependentTransient);
+        assert_eq!(c().classify_evidence(&ev).class, FaultClass::EnvDependentNonTransient);
     }
 
     #[test]

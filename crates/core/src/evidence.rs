@@ -172,10 +172,7 @@ mod tests {
             ConditionKind::FdExhaustion,
             ConditionKind::RaceCondition,
         ]);
-        assert_eq!(
-            ev.conditions,
-            vec![ConditionKind::FdExhaustion, ConditionKind::RaceCondition]
-        );
+        assert_eq!(ev.conditions, vec![ConditionKind::FdExhaustion, ConditionKind::RaceCondition]);
         assert!(ev.names_conditions());
         assert!(!Evidence::default().names_conditions());
     }

@@ -60,7 +60,10 @@ pub const RULES: &[Rule] = &[
     Rule { all_of: &["disk", "full"], kind: ConditionKind::FileSystemFull },
     Rule { all_of: &["no space left"], kind: ConditionKind::FileSystemFull },
     // --- network ---
-    Rule { all_of: &["network resource", "exhausted"], kind: ConditionKind::NetworkResourceExhausted },
+    Rule {
+        all_of: &["network resource", "exhausted"],
+        kind: ConditionKind::NetworkResourceExhausted,
+    },
     Rule { all_of: &["slow network"], kind: ConditionKind::NetworkSlow },
     Rule { all_of: &["network", "slow connection"], kind: ConditionKind::NetworkSlow },
     Rule { all_of: &["pcmcia"], kind: ConditionKind::HardwareRemoved },
@@ -128,14 +131,26 @@ mod tests {
                 "child processes consume all available slots in the process table",
                 ConditionKind::ProcessTableFull,
             ),
-            ("hung child processes hang onto required network ports", ConditionKind::PortsHeldByChildren),
+            (
+                "hung child processes hang onto required network ports",
+                ConditionKind::PortsHeldByChildren,
+            ),
             ("call to domain name service dns returns an error", ConditionKind::DnsError),
             ("slow dns response", ConditionKind::DnsSlow),
             ("slow network connection", ConditionKind::NetworkSlow),
-            ("lack of events to generate sufficient random numbers in /dev/random", ConditionKind::EntropyExhausted),
+            (
+                "lack of events to generate sufficient random numbers in /dev/random",
+                ConditionKind::EntropyExhausted,
+            ),
             ("user presses stop on the browser", ConditionKind::WorkloadTiming),
-            ("race condition between a image viewer and a property editor", ConditionKind::RaceCondition),
-            ("unknown failure of application which works on a retry", ConditionKind::UnknownTransient),
+            (
+                "race condition between a image viewer and a property editor",
+                ConditionKind::RaceCondition,
+            ),
+            (
+                "unknown failure of application which works on a retry",
+                ConditionKind::UnknownTransient,
+            ),
         ];
         for (text, expected) in cases {
             let found = conditions_in(text);
@@ -166,7 +181,8 @@ mod tests {
 
     #[test]
     fn multiple_conditions_all_reported_sorted_deduped() {
-        let text = "full file system and a race condition between threads; also the file system is full";
+        let text =
+            "full file system and a race condition between threads; also the file system is full";
         let found = conditions_in(text);
         assert_eq!(found, {
             let mut v = vec![ConditionKind::FileSystemFull, ConditionKind::RaceCondition];

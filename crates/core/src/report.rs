@@ -48,9 +48,7 @@ pub enum Status {
 }
 
 /// A calendar month, the granularity of the GNOME timeline (Figure 2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct YearMonth {
     /// Four-digit year.
     pub year: u16,
@@ -252,9 +250,7 @@ mod tests {
     use super::*;
 
     fn base() -> BugReportBuilder {
-        BugReport::builder(AppKind::Mysql, 7)
-            .title("server crashed")
-            .severity(Severity::Critical)
+        BugReport::builder(AppKind::Mysql, 7).title("server crashed").severity(Severity::Critical)
     }
 
     #[test]
@@ -278,11 +274,7 @@ mod tests {
 
     #[test]
     fn full_text_concatenates_every_field() {
-        let r = base()
-            .body("BODY")
-            .how_to_repeat("REPEAT")
-            .developer_notes("NOTES")
-            .build();
+        let r = base().body("BODY").how_to_repeat("REPEAT").developer_notes("NOTES").build();
         let t = r.full_text();
         for needle in ["server crashed", "BODY", "REPEAT", "NOTES"] {
             assert!(t.contains(needle), "missing {needle}");

@@ -14,9 +14,8 @@ use serde::{Deserialize, Serialize};
 
 /// Upper 5% critical values of the chi-square distribution for 1–12
 /// degrees of freedom (Abramowitz & Stegun, table 26.8).
-const CHI2_CRIT_05: [f64; 12] = [
-    3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307, 19.675, 21.026,
-];
+const CHI2_CRIT_05: [f64; 12] =
+    [3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307, 19.675, 21.026];
 
 /// Result of a chi-square homogeneity test.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,10 +73,8 @@ pub fn chi2_homogeneity(buckets: &[ClassCounts]) -> Chi2Test {
         return Chi2Test { statistic: 0.0, dof: 0, critical_05: f64::INFINITY };
     }
     let grand: f64 = rows.iter().map(|r| f64::from(r.total())).sum();
-    let col_totals: Vec<f64> = cols
-        .iter()
-        .map(|c| rows.iter().map(|r| f64::from(r.get(*c))).sum())
-        .collect();
+    let col_totals: Vec<f64> =
+        cols.iter().map(|c| rows.iter().map(|r| f64::from(r.get(*c))).sum()).collect();
     let mut statistic = 0.0;
     for row in &rows {
         let row_total = f64::from(row.total());
@@ -88,10 +85,7 @@ pub fn chi2_homogeneity(buckets: &[ClassCounts]) -> Chi2Test {
         }
     }
     let dof = (rows.len() as u32 - 1) * (cols.len() as u32 - 1);
-    let critical_05 = CHI2_CRIT_05
-        .get(dof as usize - 1)
-        .copied()
-        .unwrap_or(f64::INFINITY);
+    let critical_05 = CHI2_CRIT_05.get(dof as usize - 1).copied().unwrap_or(f64::INFINITY);
     Chi2Test { statistic, dof, critical_05 }
 }
 
@@ -159,8 +153,8 @@ mod tests {
     fn paper_figures_are_homogeneous() {
         // The actual claim: Apache's and MySQL's per-release class mixes
         // pass the homogeneity test at the 5% level.
-        use crate::timeline::by_release;
         use crate::taxonomy::AppKind;
+        use crate::timeline::by_release;
         let study = faultstudy_corpus_smoke::study();
         for app in [AppKind::Apache, AppKind::Mysql] {
             let buckets: Vec<ClassCounts> =
@@ -183,8 +177,19 @@ mod tests {
         use crate::taxonomy::{AppKind, FaultClass};
 
         pub fn study() -> Study {
-            let apache = [(0u8, counts(4, 1, 1)), (1, counts(7, 1, 2)), (2, counts(11, 2, 2)), (3, counts(14, 3, 2))];
-            let mysql = [(0u8, counts(4, 1, 0)), (1, counts(7, 1, 0)), (2, counts(10, 1, 1)), (3, counts(13, 1, 1)), (4, counts(4, 0, 0))];
+            let apache = [
+                (0u8, counts(4, 1, 1)),
+                (1, counts(7, 1, 2)),
+                (2, counts(11, 2, 2)),
+                (3, counts(14, 3, 2)),
+            ];
+            let mysql = [
+                (0u8, counts(4, 1, 0)),
+                (1, counts(7, 1, 0)),
+                (2, counts(10, 1, 1)),
+                (3, counts(13, 1, 1)),
+                (4, counts(4, 0, 0)),
+            ];
             let mut faults = Vec::new();
             let mut emit = |app: AppKind, spec: &[(u8, crate::study::ClassCounts)]| {
                 for (idx, c) in spec {

@@ -210,11 +210,8 @@ mod tests {
     fn paper_shaped_study() -> Study {
         // Tables 1-3 of the paper: Apache 36/7/7, GNOME 39/3/3, MySQL 38/4/2.
         let mut faults = Vec::new();
-        let spec = [
-            (AppKind::Apache, 36, 7, 7),
-            (AppKind::Gnome, 39, 3, 3),
-            (AppKind::Mysql, 38, 4, 2),
-        ];
+        let spec =
+            [(AppKind::Apache, 36, 7, 7), (AppKind::Gnome, 39, 3, 3), (AppKind::Mysql, 38, 4, 2)];
         for (app, ei, edn, edt) in spec {
             for _ in 0..ei {
                 faults.push(fault(app, FaultClass::EnvironmentIndependent));

@@ -182,10 +182,7 @@ mod tests {
 
     #[test]
     fn class_from_condition_matches_persistence() {
-        assert_eq!(
-            FaultClass::from_condition(None),
-            FaultClass::EnvironmentIndependent
-        );
+        assert_eq!(FaultClass::from_condition(None), FaultClass::EnvironmentIndependent);
         assert_eq!(
             FaultClass::from_condition(Some(ConditionKind::FileSystemFull)),
             FaultClass::EnvDependentNonTransient
@@ -219,10 +216,7 @@ mod tests {
 
     #[test]
     fn labels_match_paper_tables() {
-        assert_eq!(
-            FaultClass::EnvironmentIndependent.to_string(),
-            "environment-independent"
-        );
+        assert_eq!(FaultClass::EnvironmentIndependent.to_string(), "environment-independent");
         assert_eq!(
             FaultClass::EnvDependentNonTransient.to_string(),
             "environment-dependent-nontransient"

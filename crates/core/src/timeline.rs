@@ -68,7 +68,8 @@ pub struct TimeSeries {
 pub fn by_release(study: &Study, app: AppKind) -> ReleaseSeries {
     let mut map: BTreeMap<u8, (String, ClassCounts)> = BTreeMap::new();
     for f in study.faults_of(app) {
-        let entry = map.entry(f.release_idx).or_insert_with(|| (f.release.clone(), ClassCounts::default()));
+        let entry =
+            map.entry(f.release_idx).or_insert_with(|| (f.release.clone(), ClassCounts::default()));
         entry.1.bump(f.class);
     }
     ReleaseSeries {
@@ -144,13 +145,7 @@ mod tests {
     use crate::study::ClassifiedFault;
 
     fn fault(app: AppKind, class: FaultClass, idx: u8, ym: YearMonth) -> ClassifiedFault {
-        ClassifiedFault {
-            app,
-            class,
-            release_idx: idx,
-            release: format!("r{idx}"),
-            filed: ym,
-        }
+        ClassifiedFault { app, class, release_idx: idx, release: format!("r{idx}"), filed: ym }
     }
 
     fn jan(m: u8) -> YearMonth {

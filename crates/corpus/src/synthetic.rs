@@ -183,12 +183,7 @@ fn decorate_primary(f: &CuratedFault, id: u64, rng: &mut Xoshiro256StarStar) -> 
     r
 }
 
-fn noise_report(
-    app: AppKind,
-    id: u64,
-    kind: NoiseKind,
-    rng: &mut Xoshiro256StarStar,
-) -> BugReport {
+fn noise_report(app: AppKind, id: u64, kind: NoiseKind, rng: &mut Xoshiro256StarStar) -> BugReport {
     let filed = YearMonth::new(1998, 1).plus_months(rng.below(22) as u32);
     let b = BugReport::builder(app, id).filed(filed).source(source_for(app));
     match kind {

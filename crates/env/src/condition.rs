@@ -159,9 +159,16 @@ impl ConditionKind {
     pub fn persistence(self) -> Persistence {
         use ConditionKind::*;
         match self {
-            ResourceLeak | FdExhaustion | DiskCacheFull | MaxFileSize | FileSystemFull
-            | NetworkResourceExhausted | HardwareRemoved | HostnameChanged
-            | CorruptFileMetadata | ReverseDnsMissing => Persistence::Persists,
+            ResourceLeak
+            | FdExhaustion
+            | DiskCacheFull
+            | MaxFileSize
+            | FileSystemFull
+            | NetworkResourceExhausted
+            | HardwareRemoved
+            | HostnameChanged
+            | CorruptFileMetadata
+            | ReverseDnsMissing => Persistence::Persists,
             ProcessTableFull | PortsHeldByChildren => Persistence::ClearedByRecovery,
             DnsError | DnsSlow | NetworkSlow | EntropyExhausted | WorkloadTiming
             | RaceCondition | UnknownTransient => Persistence::ChangesNaturally,
@@ -261,10 +268,7 @@ mod tests {
             .into_iter()
             .filter(|c| c.persistence() == Persistence::ClearedByRecovery)
             .collect();
-        assert_eq!(
-            cleared,
-            [ConditionKind::ProcessTableFull, ConditionKind::PortsHeldByChildren]
-        );
+        assert_eq!(cleared, [ConditionKind::ProcessTableFull, ConditionKind::PortsHeldByChildren]);
     }
 
     #[test]

@@ -130,9 +130,13 @@ impl DnsService {
     /// Performs a forward lookup of `name` at simulated time `now`.
     pub fn resolve(&self, name: &str, now: SimTime) -> Lookup {
         match self.health_at(now) {
-            DnsHealth::Healthy => Lookup::Resolved { addr: synthetic_addr(name), latency: self.normal_latency },
+            DnsHealth::Healthy => {
+                Lookup::Resolved { addr: synthetic_addr(name), latency: self.normal_latency }
+            }
             DnsHealth::Erroring => Lookup::ServerError,
-            DnsHealth::Slow => Lookup::Resolved { addr: synthetic_addr(name), latency: self.slow_latency },
+            DnsHealth::Slow => {
+                Lookup::Resolved { addr: synthetic_addr(name), latency: self.slow_latency }
+            }
         }
     }
 

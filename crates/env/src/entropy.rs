@@ -66,12 +66,7 @@ impl EntropyPool {
     /// Panics if `capacity_bits` is zero.
     pub fn new(capacity_bits: u64, refill_bits_per_sec: u64, now: SimTime) -> Self {
         assert!(capacity_bits > 0, "entropy capacity must be positive");
-        EntropyPool {
-            capacity_bits,
-            bits: capacity_bits,
-            refill_bits_per_sec,
-            last_update: now,
-        }
+        EntropyPool { capacity_bits, bits: capacity_bits, refill_bits_per_sec, last_update: now }
     }
 
     fn settle(&mut self, now: SimTime) {

@@ -169,9 +169,7 @@ impl Environment {
                 !self.host.hardware_present(crate::host::HardwareComponent::PcmciaNic)
             }
             ConditionKind::HostnameChanged => self.host.hostname_changed(),
-            ConditionKind::CorruptFileMetadata => {
-                self.fs.iter().any(|(_, m)| m.owner_is_illegal())
-            }
+            ConditionKind::CorruptFileMetadata => self.fs.iter().any(|(_, m)| m.owner_is_illegal()),
             ConditionKind::ReverseDnsMissing => false, // per-host; apps probe dns
             ConditionKind::ProcessTableFull => self.procs.is_full(),
             ConditionKind::PortsHeldByChildren => false, // per-port; apps probe procs

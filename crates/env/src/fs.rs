@@ -183,8 +183,12 @@ impl VirtualFs {
     /// Removes every file whose path starts with `prefix`; returns the
     /// number of files removed. Used by the applications' disk caches.
     pub fn remove_prefix(&mut self, prefix: &str) -> usize {
-        let doomed: Vec<String> =
-            self.files.range(prefix.to_owned()..).take_while(|(p, _)| p.starts_with(prefix)).map(|(p, _)| p.clone()).collect();
+        let doomed: Vec<String> = self
+            .files
+            .range(prefix.to_owned()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, _)| p.clone())
+            .collect();
         for p in &doomed {
             let meta = self.files.remove(p).expect("listed file exists");
             self.used -= meta.size;

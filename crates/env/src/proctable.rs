@@ -225,10 +225,8 @@ impl ProcessTable {
 
     /// Number of hung processes owned by `owner`.
     pub fn hung_of(&self, owner: OwnerId) -> u32 {
-        self.procs
-            .values()
-            .filter(|e| e.owner == owner && e.state == ProcState::Hung)
-            .count() as u32
+        self.procs.values().filter(|e| e.owner == owner && e.state == ProcState::Hung).count()
+            as u32
     }
 
     /// Pids owned by `owner`, ascending.

@@ -1,0 +1,199 @@
+//! Deterministic parallel work distribution.
+//!
+//! Campaigns and mining funnels are embarrassingly parallel: every sample or
+//! archive report is an independent unit of work addressed by an integer
+//! index. This crate provides the one primitive both hot paths share —
+//! [`run_indexed`] — which fans a pure `Fn(index) -> T` out over a
+//! fixed-size worker pool and returns the results **in index order**,
+//! regardless of thread count or scheduling. Combined with per-index seed
+//! derivation (`faultstudy_sim::rng::split_seed`), output is byte-identical
+//! whether the work ran on 1, 2, or 8 threads.
+//!
+//! The design deliberately avoids work stealing: each worker owns one
+//! contiguous chunk of the index space, computes its results into a private
+//! buffer, and ships the finished chunk back over a channel tagged with its
+//! chunk number. The merge is a plain in-order concatenation, so there is no
+//! ordering logic to get wrong and no shared mutable state at all.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// How a parallel section should be executed.
+///
+/// `ParallelSpec` is intentionally *not* part of any serialized experiment
+/// spec: thread count is an execution detail, and results are identical for
+/// every value of it. Keeping it out of `CampaignSpec` preserves the byte
+/// layout of persisted reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelSpec {
+    /// Requested worker count; `0` means "use available parallelism".
+    threads: usize,
+}
+
+impl ParallelSpec {
+    /// Run on the current thread only.
+    pub const SEQUENTIAL: ParallelSpec = ParallelSpec { threads: 1 };
+
+    /// Use the host's available parallelism, resolved at execution time.
+    pub const AUTO: ParallelSpec = ParallelSpec { threads: 0 };
+
+    /// Requests exactly `threads` workers (`0` is equivalent to [`Self::AUTO`]).
+    pub const fn threads(threads: usize) -> ParallelSpec {
+        ParallelSpec { threads }
+    }
+
+    /// The worker count this spec resolves to for `jobs` units of work.
+    ///
+    /// Never exceeds `jobs` (an idle worker is pure overhead) and is always
+    /// at least 1.
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        let requested = if self.threads == 0 {
+            thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        } else {
+            self.threads
+        };
+        requested.clamp(1, jobs.max(1))
+    }
+}
+
+impl Default for ParallelSpec {
+    fn default() -> Self {
+        ParallelSpec::AUTO
+    }
+}
+
+/// Runs `work(0..jobs)` across a fixed-size worker pool and returns the
+/// results in index order.
+///
+/// The index space is partitioned into one contiguous chunk per worker
+/// (first `jobs % workers` chunks get one extra item), each worker computes
+/// its chunk into a private `Vec`, and chunks are concatenated in chunk
+/// order. Because `work` receives the *global* index, any per-item
+/// randomness derived from it (e.g. via `split_seed`) is independent of the
+/// partitioning, so the output is a pure function of `(jobs, work)` —
+/// thread count cannot be observed in the result.
+///
+/// `work` must be `Sync` (shared by reference across workers) and is called
+/// exactly once per index.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_exec::{run_indexed, ParallelSpec};
+/// let squares = run_indexed(5, ParallelSpec::threads(2), |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_indexed<T, F>(jobs: usize, spec: ParallelSpec, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = spec.effective_threads(jobs);
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(work).collect();
+    }
+
+    let base = jobs / workers;
+    let extra = jobs % workers;
+    let work = &work;
+
+    let mut merged: Vec<Option<Vec<T>>> = Vec::new();
+    merged.resize_with(workers, || None);
+
+    thread::scope(|scope| {
+        let (tx, rx) = channel::bounded::<(usize, Vec<T>)>(workers);
+        let mut start = 0usize;
+        for chunk in 0..workers {
+            let len = base + usize::from(chunk < extra);
+            let range = start..start + len;
+            start += len;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let results: Vec<T> = range.map(work).collect();
+                // The receiver outlives every sender inside the scope, so
+                // a send failure is unreachable; drop the result to keep
+                // the worker infallible.
+                let _ = tx.send((chunk, results));
+            });
+        }
+        drop(tx);
+        for (chunk, results) in rx.iter() {
+            merged[chunk] = Some(results);
+        }
+    });
+
+    merged.into_iter().map(|chunk| chunk.expect("every worker reports exactly one chunk")).fold(
+        Vec::with_capacity(jobs),
+        |mut all, mut chunk| {
+            all.append(&mut chunk);
+            all
+        },
+    )
+}
+
+/// Keeps `items[i]` where `keep[i]` is true, preserving order.
+///
+/// The order-preserving merge half of a parallel filter: compute the keep
+/// mask with [`run_indexed`], then apply it sequentially. Splitting the
+/// predicate (parallel, expensive) from the retention (sequential, trivial)
+/// keeps filtered output independent of thread count.
+///
+/// # Panics
+///
+/// Panics if the mask length differs from the item count.
+pub fn retain_by_mask<T>(items: Vec<T>, keep: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), keep.len(), "mask must cover every item");
+    items.into_iter().zip(keep).filter_map(|(item, &keep)| keep.then_some(item)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let expected: Vec<usize> = (0..97).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = run_indexed(97, ParallelSpec::threads(threads), |i| i * 3 + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn auto_matches_sequential() {
+        let seq = run_indexed(40, ParallelSpec::SEQUENTIAL, |i| i as u64 * 7);
+        let auto = run_indexed(40, ParallelSpec::AUTO, |i| i as u64 * 7);
+        assert_eq!(seq, auto);
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        assert_eq!(run_indexed(0, ParallelSpec::threads(4), |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, ParallelSpec::threads(4), |i| i), vec![0]);
+        // More workers than jobs: clamped, still complete and ordered.
+        assert_eq!(run_indexed(3, ParallelSpec::threads(16), |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(ParallelSpec::threads(8).effective_threads(3), 3);
+        assert_eq!(ParallelSpec::threads(2).effective_threads(100), 2);
+        assert_eq!(ParallelSpec::threads(5).effective_threads(0), 1);
+        assert!(ParallelSpec::AUTO.effective_threads(100) >= 1);
+        assert_eq!(ParallelSpec::SEQUENTIAL.effective_threads(100), 1);
+    }
+
+    #[test]
+    fn mask_retention_preserves_order() {
+        let items = vec!["a", "b", "c", "d"];
+        let keep = [true, false, true, false];
+        assert_eq!(retain_by_mask(items, &keep), vec!["a", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask must cover")]
+    fn mask_length_mismatch_panics() {
+        retain_by_mask(vec![1, 2, 3], &[true]);
+    }
+}

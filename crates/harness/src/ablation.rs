@@ -6,7 +6,7 @@
 //! rejuvenation period trades proactive work against leak-driven failures
 //! (E13).
 
-use faultstudy_apps::{AppState, Application, Request, spawn_app};
+use faultstudy_apps::{spawn_app, AppState, Application, Request};
 use faultstudy_core::taxonomy::AppKind;
 use faultstudy_env::Environment;
 use faultstudy_recovery::{
@@ -95,7 +95,11 @@ pub fn sweep_checkpoint_interval(intervals: &[u32], seed: u64) -> Vec<Checkpoint
             workload.push(app.trigger_request("apache-edt-02").expect("trigger"));
             let mut strategy = RollbackRecovery::new(interval, 3);
             let run = run_workload(app.as_mut(), &mut env, &workload, &mut strategy);
-            CheckpointPoint { interval, survived: run.survived, replayed: strategy.replayed_total() }
+            CheckpointPoint {
+                interval,
+                survived: run.survived,
+                replayed: strategy.replayed_total(),
+            }
         })
         .collect()
 }
@@ -127,8 +131,7 @@ pub fn sweep_perturbation(retry_budgets: &[u32], seeds: u64) -> Vec<Perturbation
                     let mut env = standard_env(seed);
                     let mut app = spawn_app(AppKind::Mysql, &mut env);
                     app.inject("mysql-edt-01", &mut env).expect("injectable");
-                    let workload =
-                        vec![app.trigger_request("mysql-edt-01").expect("trigger")];
+                    let workload = vec![app.trigger_request("mysql-edt-01").expect("trigger")];
                     let survived = if progressive {
                         let mut s = ProgressiveRetry::new(retries);
                         run_workload(app.as_mut(), &mut env, &workload, &mut s).survived
@@ -170,8 +173,7 @@ pub fn sweep_rejuvenation(periods: &[u32], seed: u64) -> Vec<RejuvenationPoint> 
             let mut env = standard_env(seed);
             let mut app = spawn_app(AppKind::Apache, &mut env);
             app.inject("apache-edn-01", &mut env).expect("injectable");
-            let workload: Vec<Request> =
-                (0..12).map(|_| Request::new("GET /burst")).collect();
+            let workload: Vec<Request> = (0..12).map(|_| Request::new("GET /burst")).collect();
             let mut strategy = Rejuvenation::new(period, 2);
             let run = run_workload(app.as_mut(), &mut env, &workload, &mut strategy);
             RejuvenationPoint { period, survived: run.survived, failures: run.failures }
@@ -188,8 +190,7 @@ mod tests {
         let points = sweep_checkpoint_interval(&[1, 4, 16], 11);
         assert!(points.iter().all(|p| p.survived), "{points:?}");
         assert!(
-            points[0].replayed <= points[1].replayed
-                && points[1].replayed <= points[2].replayed,
+            points[0].replayed <= points[1].replayed && points[1].replayed <= points[2].replayed,
             "replay work grows with the interval: {points:?}"
         );
     }
@@ -232,9 +233,6 @@ mod tests {
     #[test]
     fn sweeps_are_deterministic() {
         assert_eq!(sweep_rejuvenation(&[2, 4], 1), sweep_rejuvenation(&[2, 4], 1));
-        assert_eq!(
-            sweep_checkpoint_interval(&[2], 9),
-            sweep_checkpoint_interval(&[2], 9)
-        );
+        assert_eq!(sweep_checkpoint_interval(&[2], 9), sweep_checkpoint_interval(&[2], 9));
     }
 }

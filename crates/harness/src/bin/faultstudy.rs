@@ -1,7 +1,7 @@
 //! The `faultstudy` CLI: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! faultstudy <command> [--seed N] [--json]
+//! faultstudy <command> [--seed N] [--threads N] [--json]
 //!
 //! commands:
 //!   tables     Tables 1-3: per-application fault classification
@@ -17,7 +17,9 @@
 use faultstudy_core::taxonomy::AppKind;
 use faultstudy_core::timeline::{by_month, by_release};
 use faultstudy_corpus::paper_study;
-use faultstudy_harness::{paper_scale_funnels, CampaignReport, CampaignSpec, RecoveryMatrix};
+use faultstudy_harness::{
+    paper_scale_funnels_with, CampaignReport, CampaignSpec, ParallelSpec, RecoveryMatrix,
+};
 use faultstudy_report::{
     render_discussion, render_release_figure, render_table, render_time_figure,
     TandemReconciliation,
@@ -27,15 +29,18 @@ use std::process::ExitCode;
 struct Options {
     seed: u64,
     json: bool,
+    /// Worker threads for campaign/mining; `AUTO` = available parallelism.
+    /// Results are byte-identical for every value.
+    parallel: ParallelSpec,
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|verify|lee-iyer|experiments|all> [--seed N] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--json]");
         return ExitCode::FAILURE;
     };
-    let mut opts = Options { seed: 2000, json: false };
+    let mut opts = Options { seed: 2000, json: false, parallel: ParallelSpec::AUTO };
     let mut rest = args;
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -44,6 +49,13 @@ fn main() -> ExitCode {
                 Some(v) => opts.seed = v,
                 None => {
                     eprintln!("--seed requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.parallel = ParallelSpec::threads(v),
+                None => {
+                    eprintln!("--threads requires an integer value (0 = auto)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -126,7 +138,7 @@ fn summary(opts: &Options) {
 }
 
 fn mine(opts: &Options) {
-    let runs = paper_scale_funnels(opts.seed);
+    let runs = paper_scale_funnels_with(opts.seed, opts.parallel);
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&runs).expect("funnels serialize"));
         return;
@@ -174,11 +186,12 @@ fn verify(opts: &Options) -> ExitCode {
     if !(5.0..=14.0).contains(&restart_pct) {
         problems.push(format!("restart overall {restart_pct:.1}% outside the 5-14% band"));
     }
-    let report = CampaignReport::run(CampaignSpec { samples: 200, seed: opts.seed });
+    let report =
+        CampaignReport::run_with(CampaignSpec { samples: 200, seed: opts.seed }, opts.parallel);
     if !report.anomalies.is_empty() {
         problems.push(format!("campaign anomalies: {:?}", report.anomalies));
     }
-    for run in paper_scale_funnels(opts.seed) {
+    for run in paper_scale_funnels_with(opts.seed, opts.parallel) {
         let expected = match run.outcome.app {
             AppKind::Apache => 50,
             AppKind::Gnome => 45,
@@ -204,7 +217,8 @@ fn verify(opts: &Options) -> ExitCode {
 }
 
 fn campaign(opts: &Options) {
-    let report = CampaignReport::run(CampaignSpec { samples: 500, seed: opts.seed });
+    let report =
+        CampaignReport::run_with(CampaignSpec { samples: 500, seed: opts.seed }, opts.parallel);
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&report).expect("campaign serializes"));
         return;

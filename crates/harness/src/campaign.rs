@@ -10,7 +10,8 @@
 use crate::experiment::{run_fault_experiment, StrategyKind};
 use faultstudy_core::taxonomy::FaultClass;
 use faultstudy_corpus::full_corpus;
-use faultstudy_sim::rng::{DetRng, Xoshiro256StarStar};
+use faultstudy_exec::{run_indexed, ParallelSpec};
+use faultstudy_sim::rng::{split_seed, DetRng, Xoshiro256StarStar};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -55,34 +56,57 @@ pub struct CampaignReport {
     pub anomalies: Vec<String>,
 }
 
+/// The outcome of one campaign sample, before aggregation.
+struct Sample {
+    class: FaultClass,
+    strategy: StrategyKind,
+    survived: bool,
+    anomaly: Option<String>,
+}
+
 impl CampaignReport {
-    /// Runs the campaign.
+    /// Runs the campaign with the host's available parallelism.
     pub fn run(spec: CampaignSpec) -> CampaignReport {
+        Self::run_with(spec, ParallelSpec::default())
+    }
+
+    /// Runs the campaign on `parallel` worker threads.
+    ///
+    /// Each sample's RNG is seeded from `split_seed(spec.seed, index)`, so
+    /// sample `index` draws the same `(fault, strategy, env_seed)` triple no
+    /// matter which worker executes it; aggregation folds the outcomes in
+    /// index order. The report is therefore byte-identical for every thread
+    /// count.
+    pub fn run_with(spec: CampaignSpec, parallel: ParallelSpec) -> CampaignReport {
         let corpus = full_corpus();
-        let mut rng = Xoshiro256StarStar::seed_from(spec.seed);
-        let mut cells: BTreeMap<(FaultClass, StrategyKind), (u32, u32)> = BTreeMap::new();
-        let mut anomalies = Vec::new();
-        for _ in 0..spec.samples {
+        let samples = run_indexed(spec.samples as usize, parallel, |index| {
+            let mut rng = Xoshiro256StarStar::seed_from(split_seed(spec.seed, index as u64));
             let fault = &corpus[rng.below(corpus.len() as u64) as usize];
             let strategy = StrategyKind::ALL[rng.below(StrategyKind::ALL.len() as u64) as usize];
             let env_seed = rng.next_u64();
             let out = run_fault_experiment(fault, strategy, env_seed);
-            let cell = cells.entry((out.class, strategy)).or_insert((0, 0));
-            cell.1 += 1;
-            if out.survived {
-                cell.0 += 1;
-                // The deterministic guarantees of the taxonomy.
-                let violates = out.class == FaultClass::EnvironmentIndependent
+            // The deterministic guarantees of the taxonomy.
+            let violates = out.survived
+                && (out.class == FaultClass::EnvironmentIndependent
                     || (out.class == FaultClass::EnvDependentNonTransient
-                        && strategy.is_generic());
-                if violates {
-                    anomalies.push(format!(
-                        "{} survived {} at seed {env_seed}",
-                        out.slug,
-                        strategy.name()
-                    ));
-                }
+                        && strategy.is_generic()));
+            Sample {
+                class: out.class,
+                strategy,
+                survived: out.survived,
+                anomaly: violates.then(|| {
+                    format!("{} survived {} at seed {env_seed}", out.slug, strategy.name())
+                }),
             }
+        });
+
+        let mut cells: BTreeMap<(FaultClass, StrategyKind), (u32, u32)> = BTreeMap::new();
+        let mut anomalies = Vec::new();
+        for sample in samples {
+            let cell = cells.entry((sample.class, sample.strategy)).or_insert((0, 0));
+            cell.1 += 1;
+            cell.0 += u32::from(sample.survived);
+            anomalies.extend(sample.anomaly);
         }
         let cells = cells
             .into_iter()
@@ -112,11 +136,7 @@ impl CampaignReport {
 
 impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Campaign: {} samples from master seed {}",
-            self.spec.samples, self.spec.seed
-        )?;
+        writeln!(f, "Campaign: {} samples from master seed {}", self.spec.samples, self.spec.seed)?;
         for cell in &self.cells {
             writeln!(
                 f,

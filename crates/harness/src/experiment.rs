@@ -135,9 +135,8 @@ pub fn run_fault_experiment(
     app.inject(fault.slug(), &mut env)
         .expect("every corpus fault is injectable into its application");
     let benign = app.benign_request();
-    let trigger = app
-        .trigger_request(fault.slug())
-        .expect("every corpus fault has a triggering request");
+    let trigger =
+        app.trigger_request(fault.slug()).expect("every corpus fault has a triggering request");
     let workload = workload_for(fault, benign, trigger);
     let mut strat = strategy.build();
     let run = run_workload(app.as_mut(), &mut env, &workload, strat.as_mut());
@@ -194,11 +193,7 @@ pub fn run_multi_fault_experiment(
     let run = run_workload(app.as_mut(), &mut env, &workload, strat.as_mut());
     // The combined class is the hardest constituent: EI dominates EDN
     // dominates EDT (ordered by how little recovery can do).
-    let class = faults
-        .iter()
-        .map(|f| f.class())
-        .min()
-        .expect("nonempty");
+    let class = faults.iter().map(|f| f.class()).min().expect("nonempty");
     FaultOutcome {
         slug: faults.iter().map(|f| f.slug()).collect::<Vec<_>>().join("+"),
         class,
@@ -245,8 +240,7 @@ mod tests {
     #[test]
     fn nontransient_fault_defeats_generic_but_leak_yields_to_app_knowledge() {
         let leak = find("apache-edn-01").unwrap();
-        for strategy in [StrategyKind::Restart, StrategyKind::ProcessPair, StrategyKind::Rollback]
-        {
+        for strategy in [StrategyKind::Restart, StrategyKind::ProcessPair, StrategyKind::Rollback] {
             assert!(!run_fault_experiment(&leak, strategy, 7).survived, "{strategy}");
         }
         assert!(run_fault_experiment(&leak, StrategyKind::AppSpecific, 7).survived);
@@ -282,11 +276,8 @@ mod tests {
     fn a_deterministic_cohabitant_dooms_the_workload() {
         let transient = find("apache-edt-02").unwrap();
         let deterministic = find("apache-ei-26").unwrap();
-        let out = run_multi_fault_experiment(
-            &[&transient, &deterministic],
-            StrategyKind::Restart,
-            7,
-        );
+        let out =
+            run_multi_fault_experiment(&[&transient, &deterministic], StrategyKind::Restart, 7);
         assert!(!out.survived, "the EI trigger is still fatal");
         assert_eq!(out.class, FaultClass::EnvironmentIndependent, "hardest class wins");
         // The transient fault *was* recovered before the EI one hit.

@@ -89,12 +89,7 @@ pub fn experiments_markdown(seed: u64) -> String {
 
     let fig2 = by_month(&study, AppKind::Gnome);
     let totals2: Vec<u32> = fig2.buckets.iter().map(|(_, c)| c.total()).collect();
-    let min_pos = totals2
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, v)| **v)
-        .map(|(i, _)| i)
-        .unwrap_or(0);
+    let min_pos = totals2.iter().enumerate().min_by_key(|(_, v)| **v).map(|(i, _)| i).unwrap_or(0);
     writeln!(
         md,
         "| E5 (Fig. 2) | GNOME reports dip mid-period then grow again | monthly totals {:?}, \
@@ -259,7 +254,8 @@ pub fn experiments_markdown(seed: u64) -> String {
 
     writeln!(md, "## E12: perturbation ablation (progressive retry, Wang93)").expect("w");
     writeln!(md).expect("w");
-    writeln!(md, "| Retries | Unchanged-env retry survived | Perturbed retry survived |").expect("w");
+    writeln!(md, "| Retries | Unchanged-env retry survived | Perturbed retry survived |")
+        .expect("w");
     writeln!(md, "|---|---|---|").expect("w");
     for p in crate::ablation::sweep_perturbation(&[1, 2, 3, 5], 48) {
         writeln!(
@@ -364,10 +360,7 @@ pub fn assumption_sensitivity() -> Vec<(&'static str, [u32; 3])> {
                         classifier.classify_evidence(&Evidence::of_conditions([cond])).class
                     }
                 };
-                let idx = FaultClass::ALL
-                    .iter()
-                    .position(|c| *c == class)
-                    .expect("class in ALL");
+                let idx = FaultClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
                 counts[idx] += 1;
             }
             (label, counts)

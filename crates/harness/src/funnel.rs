@@ -2,6 +2,7 @@
 
 use faultstudy_core::taxonomy::AppKind;
 use faultstudy_corpus::{PopulationSpec, SyntheticPopulation};
+use faultstudy_exec::ParallelSpec;
 use faultstudy_mining::{Archive, PipelineOutcome, PrecisionRecall, SelectionPipeline};
 use serde::{Deserialize, Serialize};
 
@@ -28,15 +29,26 @@ pub struct FunnelRun {
 /// assert_eq!(runs[2].outcome.unique_bugs(), 44); // MySQL
 /// ```
 pub fn paper_scale_funnels(seed: u64) -> Vec<FunnelRun> {
-    AppKind::ALL.iter().map(|&app| run_funnel(app, seed)).collect()
+    paper_scale_funnels_with(seed, ParallelSpec::default())
+}
+
+/// [`paper_scale_funnels`] on `parallel` worker threads; the runs are
+/// identical for every thread count.
+pub fn paper_scale_funnels_with(seed: u64, parallel: ParallelSpec) -> Vec<FunnelRun> {
+    AppKind::ALL.iter().map(|&app| run_funnel_with(app, seed, parallel)).collect()
 }
 
 /// Runs one application's funnel at paper scale.
 pub fn run_funnel(app: AppKind, seed: u64) -> FunnelRun {
+    run_funnel_with(app, seed, ParallelSpec::default())
+}
+
+/// [`run_funnel`] on `parallel` worker threads.
+pub fn run_funnel_with(app: AppKind, seed: u64, parallel: ParallelSpec) -> FunnelRun {
     let spec = PopulationSpec::paper_scale(app, seed);
     let population = SyntheticPopulation::generate(&spec);
     let archive = Archive::new(app, population.reports.clone());
-    let outcome = SelectionPipeline::for_app(app).run(&archive);
+    let outcome = SelectionPipeline::for_app(app).run_with(&archive, parallel);
     let quality = PrecisionRecall::measure(&outcome.selected, &population.ground_truth);
     FunnelRun { outcome, quality }
 }
@@ -48,7 +60,8 @@ mod tests {
     #[test]
     fn paper_scale_funnels_reproduce_section_4() {
         let runs = paper_scale_funnels(99);
-        let expected = [(AppKind::Apache, 5220, 50), (AppKind::Gnome, 500, 45), (AppKind::Mysql, 44_000, 44)];
+        let expected =
+            [(AppKind::Apache, 5220, 50), (AppKind::Gnome, 500, 45), (AppKind::Mysql, 44_000, 44)];
         for (run, (app, raw, unique)) in runs.iter().zip(expected) {
             assert_eq!(run.outcome.app, app);
             assert_eq!(run.outcome.raw_size(), raw);

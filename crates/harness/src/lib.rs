@@ -37,8 +37,9 @@ pub mod funnel;
 pub mod matrix;
 pub mod workload;
 
-pub use experiment::{run_fault_experiment, FaultOutcome, StrategyKind};
 pub use campaign::{CampaignReport, CampaignSpec};
+pub use experiment::{run_fault_experiment, FaultOutcome, StrategyKind};
 pub use expreport::experiments_markdown;
-pub use funnel::paper_scale_funnels;
+pub use faultstudy_exec::ParallelSpec;
+pub use funnel::{paper_scale_funnels, paper_scale_funnels_with};
 pub use matrix::RecoveryMatrix;

@@ -151,7 +151,11 @@ impl fmt::Display for RecoveryMatrix {
                 write!(f, " {:>14}", format!("{}/{}", c.survived, c.total))?;
             }
             let o = self.overall(strategy);
-            writeln!(f, " {:>14}", format!("{}/{} ({:.0}%)", o.survived, o.total, o.rate() * 100.0))?;
+            writeln!(
+                f,
+                " {:>14}",
+                format!("{}/{} ({:.0}%)", o.survived, o.total, o.rate() * 100.0)
+            )?;
         }
         Ok(())
     }
@@ -232,8 +236,7 @@ mod tests {
         let m = RecoveryMatrix::run_strategies(3, &[StrategyKind::Restart]);
         let survived =
             m.slugs_where(FaultClass::EnvDependentTransient, StrategyKind::Restart, true);
-        let failed =
-            m.slugs_where(FaultClass::EnvDependentTransient, StrategyKind::Restart, false);
+        let failed = m.slugs_where(FaultClass::EnvDependentTransient, StrategyKind::Restart, false);
         assert_eq!(survived.len() + failed.len(), 12);
         assert!(survived.contains(&"apache-edt-02"));
     }

@@ -104,10 +104,9 @@ impl WorkloadGen {
                 self.rng.below(1000),
                 self.rng.below(1000)
             )),
-            10 => Request::new(format!(
-                "DELETE FROM load{table} WHERE k = {}",
-                self.rng.below(1000)
-            )),
+            10 => {
+                Request::new(format!("DELETE FROM load{table} WHERE k = {}", self.rng.below(1000)))
+            }
             _ => Request::new("PING"),
         }
     }
@@ -142,10 +141,7 @@ mod tests {
             for i in 0..300 {
                 let req = generator.next_request();
                 let result = app.handle(&req, &mut env);
-                assert!(
-                    result.is_ok(),
-                    "{app_kind} request {i} ({req}) failed: {result:?}"
-                );
+                assert!(result.is_ok(), "{app_kind} request {i} ({req}) failed: {result:?}");
             }
         }
     }
@@ -161,10 +157,8 @@ mod tests {
     fn workloads_cover_multiple_request_kinds() {
         for app in AppKind::ALL {
             let reqs = WorkloadGen::new(app, 11).take_requests(200);
-            let kinds: std::collections::BTreeSet<&str> = reqs
-                .iter()
-                .map(|r| r.body.split_whitespace().next().unwrap_or(""))
-                .collect();
+            let kinds: std::collections::BTreeSet<&str> =
+                reqs.iter().map(|r| r.body.split_whitespace().next().unwrap_or("")).collect();
             assert!(kinds.len() >= 3, "{app}: workload too uniform: {kinds:?}");
         }
     }

@@ -12,37 +12,59 @@ use faultstudy_core::report::BugReport;
 use std::collections::HashSet;
 
 /// Normalizes a title for duplicate comparison.
+///
+/// Single pass over the word iterator: leading re-post markers are skipped
+/// with `skip_while` (no front-removal churn) and words are appended
+/// straight into the output buffer (no intermediate `Vec<String>`).
 pub fn normalize_title(title: &str) -> String {
-    let mut words: Vec<String> = title
-        .to_lowercase()
+    let lower = title.to_lowercase();
+    let words = lower
         .split(|c: char| !c.is_alphanumeric())
         .filter(|w| !w.is_empty())
-        .map(str::to_owned)
-        .collect();
-    // Strip leading re-post markers.
-    while matches!(words.first().map(String::as_str), Some("again" | "re" | "fwd")) {
-        words.remove(0);
+        .skip_while(|w| matches!(*w, "again" | "re" | "fwd"));
+    let mut out = String::with_capacity(lower.len());
+    for word in words {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(word);
     }
-    words.join(" ")
+    out
 }
 
 /// Retains the first report of each distinct fault, dropping explicit
 /// duplicates and title-level re-posts. Order is preserved; among
 /// duplicates the earliest archive id survives.
 pub fn dedup_reports(reports: Vec<BugReport>) -> Vec<BugReport> {
-    let mut reports = reports;
+    let norms = reports.iter().map(|r| normalize_title(&r.title)).collect();
+    dedup_reports_with_norms(reports, norms)
+}
+
+/// [`dedup_reports`] over titles normalized ahead of time.
+///
+/// `norms[i]` must be `normalize_title(&reports[i].title)`; callers compute
+/// the norms in parallel (normalization is the per-report cost; the reduce
+/// below is inherently sequential because each keep decision depends on
+/// every earlier one) and this function performs the order-dependent scan.
+/// Output is identical to [`dedup_reports`] on the same input.
+///
+/// # Panics
+///
+/// Panics if `norms.len() != reports.len()`.
+pub fn dedup_reports_with_norms(reports: Vec<BugReport>, norms: Vec<String>) -> Vec<BugReport> {
+    assert_eq!(reports.len(), norms.len(), "one normalized title per report");
+    let mut paired: Vec<(BugReport, String)> = reports.into_iter().zip(norms).collect();
     // Earliest report first so the primary survives.
-    reports.sort_by_key(|r| r.id);
+    paired.sort_by_key(|(r, _)| r.id);
     let mut seen_titles: HashSet<String> = HashSet::new();
     let mut kept_ids: HashSet<u64> = HashSet::new();
-    let mut out = Vec::with_capacity(reports.len());
-    for r in reports {
+    let mut out = Vec::with_capacity(paired.len());
+    for (r, norm) in paired {
         if let Some(primary) = r.duplicate_of {
             if kept_ids.contains(&primary) {
                 continue; // formally linked duplicate of a kept report
             }
         }
-        let norm = normalize_title(&r.title);
         if !norm.is_empty() && !seen_titles.insert(norm) {
             continue; // same fault re-reported under an equivalent title
         }
@@ -58,10 +80,7 @@ mod tests {
     use faultstudy_core::taxonomy::{AppKind, Severity};
 
     fn report(id: u64, title: &str) -> BugReport {
-        BugReport::builder(AppKind::Apache, id)
-            .title(title)
-            .severity(Severity::Severe)
-            .build()
+        BugReport::builder(AppKind::Apache, id).title(title).severity(Severity::Severe).build()
     }
 
     #[test]
@@ -105,11 +124,7 @@ mod tests {
 
     #[test]
     fn dedup_is_idempotent() {
-        let input = vec![
-            report(1, "a crash"),
-            report(2, "(again) a crash"),
-            report(3, "b crash"),
-        ];
+        let input = vec![report(1, "a crash"), report(2, "(again) a crash"), report(3, "b crash")];
         let once = dedup_reports(input);
         let twice = dedup_reports(once.clone());
         assert_eq!(once, twice);
@@ -120,5 +135,30 @@ mod tests {
     fn empty_titles_do_not_collide() {
         let out = dedup_reports(vec![report(1, ""), report(2, "")]);
         assert_eq!(out.len(), 2, "empty titles carry no duplicate signal");
+    }
+
+    #[test]
+    fn normalization_handles_marker_edge_cases() {
+        // Markers only strip from the front; interior ones are content.
+        assert_eq!(normalize_title("crash again"), "crash again");
+        assert_eq!(normalize_title("re fwd again re crash"), "crash");
+        assert_eq!(normalize_title("re: re: re:"), "");
+        assert_eq!(normalize_title("  RE:   (again)  Fwd: boom  "), "boom");
+        // Idempotent.
+        let once = normalize_title("(again) Server CRASHED!!");
+        assert_eq!(normalize_title(&once), once);
+    }
+
+    #[test]
+    fn precomputed_norms_match_inline_normalization() {
+        let reports = vec![
+            report(9, "(again) server crashed"),
+            report(2, "Server crashed!"),
+            report(4, "unrelated other bug"),
+            report(7, "RE: unrelated other bug"),
+        ];
+        let norms = reports.iter().map(|r| normalize_title(&r.title)).collect();
+        let expected = dedup_reports(reports.clone());
+        assert_eq!(dedup_reports_with_norms(reports, norms), expected);
     }
 }

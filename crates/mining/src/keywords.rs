@@ -34,9 +34,7 @@ impl KeywordQuery {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        KeywordQuery {
-            keywords: keywords.into_iter().map(|k| k.as_ref().to_lowercase()).collect(),
-        }
+        KeywordQuery { keywords: keywords.into_iter().map(|k| k.as_ref().to_lowercase()).collect() }
     }
 
     /// The paper's MySQL query.

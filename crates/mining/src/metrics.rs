@@ -40,8 +40,7 @@ impl PrecisionRecall {
                 None => false_positives += 1,
             }
         }
-        let faults_total =
-            ground_truth.values().collect::<BTreeSet<_>>().len();
+        let faults_total = ground_truth.values().collect::<BTreeSet<_>>().len();
         PrecisionRecall {
             true_positives,
             false_positives,
@@ -96,10 +95,7 @@ mod tests {
     }
 
     fn truth() -> BTreeMap<u64, String> {
-        [(1, "f-a"), (2, "f-a"), (3, "f-b")]
-            .into_iter()
-            .map(|(id, s)| (id, s.to_owned()))
-            .collect()
+        [(1, "f-a"), (2, "f-a"), (3, "f-b")].into_iter().map(|(id, s)| (id, s.to_owned())).collect()
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //! 44,000 → 44).
 
 use crate::archive::Archive;
-use crate::dedup::dedup_reports;
+use crate::dedup::{dedup_reports_with_norms, normalize_title};
 use crate::keywords::KeywordQuery;
 use faultstudy_core::report::BugReport;
 use faultstudy_core::taxonomy::AppKind;
+use faultstudy_exec::{retain_by_mask, run_indexed, ParallelSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -104,27 +105,40 @@ impl SelectionPipeline {
         self.keyword_query.is_some()
     }
 
-    /// Runs the funnel over `archive`.
+    /// Runs the funnel over `archive` with the host's available parallelism.
     pub fn run(&self, archive: &Archive) -> PipelineOutcome {
-        let mut funnel = vec![FunnelStage {
-            name: "raw archive".to_owned(),
-            survivors: archive.len(),
-        }];
+        self.run_with(archive, ParallelSpec::default())
+    }
+
+    /// Runs the funnel over `archive` on `parallel` worker threads.
+    ///
+    /// Every filter stage evaluates its predicate as a parallel keep-mask
+    /// over report indices and then applies the mask sequentially, so stage
+    /// order — and therefore the outcome — is identical for any thread
+    /// count. Dedup stays a sequential reduce, but over titles normalized
+    /// in parallel.
+    pub fn run_with(&self, archive: &Archive, parallel: ParallelSpec) -> PipelineOutcome {
+        let mut funnel =
+            vec![FunnelStage { name: "raw archive".to_owned(), survivors: archive.len() }];
         let mut current: Vec<BugReport> = archive.iter().cloned().collect();
 
         if let Some(q) = &self.keyword_query {
-            current.retain(|r| q.matches(r));
+            let keep = run_indexed(current.len(), parallel, |i| q.matches(&current[i]));
+            current = retain_by_mask(current, &keep);
             funnel.push(FunnelStage { name: "keyword match".to_owned(), survivors: current.len() });
         }
 
-        current.retain(|r| r.severity.is_high_impact());
+        let keep = run_indexed(current.len(), parallel, |i| current[i].severity.is_high_impact());
+        current = retain_by_mask(current, &keep);
         funnel.push(FunnelStage { name: "high impact".to_owned(), survivors: current.len() });
 
-        current.retain(|r| r.on_production_version);
+        let keep = run_indexed(current.len(), parallel, |i| current[i].on_production_version);
+        current = retain_by_mask(current, &keep);
         funnel
             .push(FunnelStage { name: "production version".to_owned(), survivors: current.len() });
 
-        let current = dedup_reports(current);
+        let norms = run_indexed(current.len(), parallel, |i| normalize_title(&current[i].title));
+        let current = dedup_reports_with_norms(current, norms);
         funnel.push(FunnelStage { name: "unique bugs".to_owned(), survivors: current.len() });
 
         PipelineOutcome { app: archive.app(), funnel, selected: current }
@@ -191,6 +205,25 @@ mod tests {
         let s = out.to_string();
         assert!(s.starts_with("GNOME: 100 (raw archive)"));
         assert!(s.contains("unique bugs"));
+    }
+
+    #[test]
+    fn outcome_is_independent_of_thread_count() {
+        let spec = PopulationSpec {
+            app: AppKind::Mysql,
+            archive_size: 800,
+            max_duplicates_per_fault: 2,
+            seed: 21,
+        };
+        let pop = SyntheticPopulation::generate(&spec);
+        let archive = Archive::new(AppKind::Mysql, pop.reports);
+        let pipeline = SelectionPipeline::for_app(AppKind::Mysql);
+        let sequential = pipeline.run_with(&archive, faultstudy_exec::ParallelSpec::SEQUENTIAL);
+        for threads in [2, 8] {
+            let parallel =
+                pipeline.run_with(&archive, faultstudy_exec::ParallelSpec::threads(threads));
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
     }
 
     #[test]

@@ -17,13 +17,7 @@ fn severity_strategy() -> impl Strategy<Value = Severity> {
 }
 
 fn report_strategy() -> impl Strategy<Value = BugReport> {
-    (
-        1u64..10_000,
-        "[a-z ]{0,30}",
-        severity_strategy(),
-        any::<bool>(),
-        prop::option::of(1u64..100),
-    )
+    (1u64..10_000, "[a-z ]{0,30}", severity_strategy(), any::<bool>(), prop::option::of(1u64..100))
         .prop_map(|(id, title, severity, production, duplicate_of)| {
             let mut b = BugReport::builder(AppKind::Apache, id)
                 .title(title)

@@ -159,8 +159,7 @@ mod tests {
             Request::new("GET /after"),
         ];
         workload[0].timing_event = false;
-        let run =
-            run_workload(&mut app, &mut env, &workload, &mut ProgressiveRetry::new(5));
+        let run = run_workload(&mut app, &mut env, &workload, &mut ProgressiveRetry::new(5));
         assert!(run.survived, "{:?}", run.last_failure);
         assert_eq!(run.completed, 3);
     }

@@ -119,6 +119,32 @@ impl DetRng for SplitMix64 {
     }
 }
 
+/// Derives the per-item seed for `index` under `master` in O(1).
+///
+/// SplitMix64 advances its state by a fixed additive constant per draw, so
+/// the `index`-th output of `SplitMix64::new(master)` is the finalizer
+/// applied to `master + (index + 1) * GOLDEN` — no sequential stream is
+/// needed. This is the foundation of deterministic parallel execution:
+/// worker threads can seed sample `index` directly, without observing any
+/// shared RNG state, and the result is independent of how samples are
+/// scheduled across threads.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_sim::rng::{split_seed, DetRng, SplitMix64};
+/// let mut stream = SplitMix64::new(42);
+/// for index in 0..8 {
+///     assert_eq!(split_seed(42, index), stream.next_u64());
+/// }
+/// ```
+pub const fn split_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// xoshiro256\*\*: the default stream generator for all simulation components.
 ///
 /// State is seeded via SplitMix64 per the authors' recommendation, which
@@ -141,9 +167,7 @@ impl Xoshiro256StarStar {
     /// Seeds the 256-bit state by running SplitMix64 on `seed`.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256StarStar {
-            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
-        }
+        Xoshiro256StarStar { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
     }
 
     /// Creates an independent stream by applying the `jump` polynomial,
@@ -204,6 +228,26 @@ mod tests {
         assert_eq!(first, again.next_u64());
         // Distinct seeds diverge immediately.
         assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn split_seed_matches_the_sequential_stream() {
+        for master in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            let mut stream = SplitMix64::new(master);
+            for index in 0..64 {
+                assert_eq!(
+                    split_seed(master, index),
+                    stream.next_u64(),
+                    "master {master} index {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_seed_separates_indices_and_masters() {
+        assert_ne!(split_seed(1, 0), split_seed(1, 1));
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
     }
 
     #[test]

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a task within one [`StepScheduler`] run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
 
 impl fmt::Display for TaskId {
@@ -168,12 +166,7 @@ impl<S: fmt::Debug> fmt::Debug for StepScheduler<S> {
 impl<S> StepScheduler<S> {
     /// Creates a scheduler over `shared` using the given interleaving policy.
     pub fn new(shared: S, interleaver: Interleaver) -> Self {
-        StepScheduler {
-            shared,
-            tasks: Vec::new(),
-            driver: interleaver.into_driver(),
-            next_id: 0,
-        }
+        StepScheduler { shared, tasks: Vec::new(), driver: interleaver.into_driver(), next_id: 0 }
     }
 
     /// Adds a task; returns its id.

@@ -215,12 +215,7 @@ impl Clock {
     /// Panics if `t` is earlier than the current instant — the simulation's
     /// arrow of time never reverses.
     pub fn advance_to(&mut self, t: SimTime) {
-        assert!(
-            t >= self.now,
-            "clock moved backwards: {} -> {}",
-            self.now,
-            t
-        );
+        assert!(t >= self.now, "clock moved backwards: {} -> {}", self.now, t);
         self.now = t;
     }
 }

@@ -65,20 +65,11 @@ impl Trace {
     }
 
     /// Appends an entry, evicting the oldest if at capacity.
-    pub fn record(
-        &mut self,
-        at: SimTime,
-        source: impl Into<String>,
-        message: impl Into<String>,
-    ) {
+    pub fn record(&mut self, at: SimTime, source: impl Into<String>, message: impl Into<String>) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
         }
-        self.entries.push_back(TraceEntry {
-            at,
-            source: source.into(),
-            message: message.into(),
-        });
+        self.entries.push_back(TraceEntry { at, source: source.into(), message: message.into() });
     }
 
     /// Number of retained entries.
@@ -148,11 +139,7 @@ mod tests {
 
     #[test]
     fn display_formats_entry() {
-        let e = TraceEntry {
-            at: SimTime::from_millis(3),
-            source: "a".into(),
-            message: "b".into(),
-        };
+        let e = TraceEntry { at: SimTime::from_millis(3), source: "a".into(), message: "b".into() };
         assert_eq!(e.to_string(), "[3ms] a: b");
     }
 

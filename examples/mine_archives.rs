@@ -21,7 +21,12 @@ fn main() {
     println!("== anatomy of the MySQL keyword search ==");
     let q = KeywordQuery::mysql();
     println!("keywords: {:?}", q.keywords());
-    let spec = PopulationSpec { app: AppKind::Mysql, archive_size: 5000, max_duplicates_per_fault: 3, seed: 11 };
+    let spec = PopulationSpec {
+        app: AppKind::Mysql,
+        archive_size: 5000,
+        max_duplicates_per_fault: 3,
+        seed: 11,
+    };
     let population = SyntheticPopulation::generate(&spec);
     let matches = population.reports.iter().filter(|r| q.matches(r)).count();
     println!(

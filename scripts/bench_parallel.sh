@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_parallel.json (campaign samples/sec and mining
+# reports/sec at 1..N worker threads). Run from the repo root:
+#
+#   sh scripts/bench_parallel.sh
+#
+# or via make: `make bench-parallel`.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_parallel -- BENCH_parallel.json

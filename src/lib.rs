@@ -9,6 +9,7 @@
 //! single package:
 //!
 //! - [`sim`] — deterministic discrete-event substrate.
+//! - [`exec`] — deterministic parallel work distribution.
 //! - [`env`] — the simulated operating environment.
 //! - [`core`] — fault taxonomy, bug-report model, classifier, study tables.
 //! - [`corpus`] — the curated 139-fault corpus and synthetic generators.
@@ -35,6 +36,7 @@ pub use faultstudy_apps as apps;
 pub use faultstudy_core as core;
 pub use faultstudy_corpus as corpus;
 pub use faultstudy_env as env;
+pub use faultstudy_exec as exec;
 pub use faultstudy_harness as harness;
 pub use faultstudy_mining as mining;
 pub use faultstudy_recovery as recovery;

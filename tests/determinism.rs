@@ -22,10 +22,7 @@ fn populations_funnels_matrices_campaigns_reports_are_seed_pure() {
         max_duplicates_per_fault: 1,
         seed: 77,
     };
-    assert_eq!(
-        SyntheticPopulation::generate(&spec),
-        SyntheticPopulation::generate(&spec)
-    );
+    assert_eq!(SyntheticPopulation::generate(&spec), SyntheticPopulation::generate(&spec));
     assert_eq!(paper_scale_funnels(5), paper_scale_funnels(5));
     assert_eq!(
         RecoveryMatrix::run_strategies(5, &[StrategyKind::Restart]),

@@ -8,11 +8,8 @@ use faultstudy::mining::{Archive, KeywordQuery, SelectionPipeline};
 #[test]
 fn funnels_reproduce_the_papers_counts() {
     let runs = paper_scale_funnels(2000);
-    let expected = [
-        (AppKind::Apache, 5220, 50),
-        (AppKind::Gnome, 500, 45),
-        (AppKind::Mysql, 44_000, 44),
-    ];
+    let expected =
+        [(AppKind::Apache, 5220, 50), (AppKind::Gnome, 500, 45), (AppKind::Mysql, 44_000, 44)];
     for (run, (app, raw, unique)) in runs.iter().zip(expected) {
         assert_eq!(run.outcome.app, app);
         assert_eq!(run.outcome.raw_size(), raw, "{app}");
@@ -34,10 +31,7 @@ fn mysql_keyword_stage_keeps_a_few_hundred_of_44000() {
     // "We looked at a few hundred messages" (§4).
     let run = run_funnel(AppKind::Mysql, 2000);
     let kept = run.outcome.funnel[1].survivors;
-    assert!(
-        (100..2500).contains(&kept),
-        "keyword stage kept {kept}, not 'a few hundred'"
-    );
+    assert!((100..2500).contains(&kept), "keyword stage kept {kept}, not 'a few hundred'");
 }
 
 #[test]

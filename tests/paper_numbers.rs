@@ -2,7 +2,6 @@
 //! Tables 1–3, the §5.4 discussion, and the shape properties of
 //! Figures 1–3.
 
-use faultstudy::core::study::Study;
 use faultstudy::core::taxonomy::{AppKind, FaultClass};
 use faultstudy::core::timeline::{by_month, by_release, ei_shares, max_deviation, totals_grow};
 use faultstudy::corpus::{corpus_for, full_corpus, paper_study, releases_of};
@@ -10,11 +9,8 @@ use faultstudy::corpus::{corpus_for, full_corpus, paper_study, releases_of};
 #[test]
 fn tables_1_through_3_match_exactly() {
     let study = paper_study();
-    let expected = [
-        (AppKind::Apache, 36, 7, 7),
-        (AppKind::Gnome, 39, 3, 3),
-        (AppKind::Mysql, 38, 4, 2),
-    ];
+    let expected =
+        [(AppKind::Apache, 36, 7, 7), (AppKind::Gnome, 39, 3, 3), (AppKind::Mysql, 38, 4, 2)];
     for (app, ei, edn, edt) in expected {
         let t = study.table(app);
         assert_eq!(t.independent, ei, "{app} environment-independent");
@@ -77,22 +73,15 @@ fn figure_2_properties_interior_dip() {
     assert_eq!(totals.iter().sum::<u32>(), 45);
     // "GNOME shows a decrease in the number of faults reported for a short
     // interval before increasing again."
-    let min_pos = totals
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, v)| **v)
-        .map(|(i, _)| i)
-        .expect("nonempty");
+    let min_pos =
+        totals.iter().enumerate().min_by_key(|(_, v)| **v).map(|(i, _)| i).expect("nonempty");
     assert!(min_pos > 0 && min_pos < totals.len() - 1, "dip is interior: {totals:?}");
     assert!(totals[min_pos] < totals[0]);
     assert!(totals[min_pos] < *totals.last().expect("nonempty"));
     // High environment-independent share in every period with faults.
     for (ym, c) in &series.buckets {
         if c.total() >= 4 {
-            assert!(
-                c.percent(FaultClass::EnvironmentIndependent) >= 75.0,
-                "{ym}: {c}"
-            );
+            assert!(c.percent(FaultClass::EnvironmentIndependent) >= 75.0, "{ym}: {c}");
         }
     }
 }
@@ -121,8 +110,7 @@ fn class_mix_is_statistically_homogeneous_across_releases() {
     use faultstudy::core::stats::chi2_homogeneity;
     let study = paper_study();
     for app in [AppKind::Apache, AppKind::Mysql] {
-        let buckets: Vec<_> =
-            by_release(&study, app).buckets.iter().map(|b| b.counts).collect();
+        let buckets: Vec<_> = by_release(&study, app).buckets.iter().map(|b| b.counts).collect();
         let test = chi2_homogeneity(&buckets);
         assert!(
             !test.significant_at_05(),

@@ -25,11 +25,8 @@ fn the_papers_thesis_holds_end_to_end() {
     // 3. Application-specific recovery reaches the self-inflicted
     //    nontransient conditions: the Apache leak, both own-descriptor
     //    leaks, and the hostname rebinding.
-    let cold = matrix.slugs_where(
-        FaultClass::EnvDependentNonTransient,
-        StrategyKind::AppSpecific,
-        true,
-    );
+    let cold =
+        matrix.slugs_where(FaultClass::EnvDependentNonTransient, StrategyKind::AppSpecific, true);
     assert_eq!(
         cold,
         ["apache-edn-01", "apache-edn-02", "gnome-edn-01", "gnome-edn-02"],

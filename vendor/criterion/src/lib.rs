@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use —
+//! `bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!` — with a simple
+//! wall-clock measurement: each benchmark is warmed up once, then timed
+//! over adaptively chosen iteration batches until the measurement window
+//! is filled, and the mean ns/iteration is printed. No statistics, plots,
+//! or baselines; numbers are honest medians-of-means suitable for
+//! relative comparisons on one machine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub last_ns_per_iter: f64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call (also primes caches and lazy statics).
+        std::hint::black_box(f());
+        let mut batch: u64 = 1;
+        // Grow the batch until one batch takes at least ~1% of the window,
+        // so timer overhead stays negligible for fast closures.
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement / 100 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        // Fill the measurement window.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+        }
+        let total = start.elapsed();
+        self.last_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let millis = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion { measurement: Duration::from_millis(millis) }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let ns = run_one(self.measurement, &mut f);
+        report(name, ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_owned(), measurement: self.measurement, _parent: self }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window for this group.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.measurement = window;
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let ns = run_one(self.measurement, &mut f);
+        report(&format!("{}/{}", self.name, id), ns);
+        self
+    }
+
+    /// Runs and reports one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let ns = run_one(self.measurement, &mut |b: &mut Bencher| f(b, input));
+        report(&format!("{}/{}", self.name, id), ns);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(measurement: Duration, f: &mut F) -> f64 {
+    let mut bencher = Bencher { last_ns_per_iter: f64::NAN, measurement };
+    f(&mut bencher);
+    bencher.last_ns_per_iter
+}
+
+fn report(name: &str, ns: f64) {
+    if ns.is_nan() {
+        println!("bench {name:<48} (no measurement)");
+    } else {
+        println!("bench {name:<48} {ns:>14.1} ns/iter");
+    }
+}
+
+/// Re-export matching criterion's path; benches import it from std
+/// anyway, but some code uses `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided — the subset this workspace uses
+//! (bounded/unbounded channels with cloneable senders and receivers) —
+//! implemented over `std::sync::mpsc`. Semantics match crossbeam for the
+//! single-consumer and work-distribution patterns used here; receivers are
+//! cloneable by sharing the underlying queue behind a mutex, so each
+//! message is still delivered to exactly one receiver.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (or the channel is closed).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half of a channel; cloneable, each message is
+    /// delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.lock().expect("channel lock").recv()
+        }
+
+        /// Returns a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.lock().expect("channel lock").try_recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.lock().expect("channel lock").recv_timeout(timeout)
+        }
+
+        /// Iterates until the channel is closed and drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for &Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self.clone() }
+        }
+    }
+
+    /// Owning blocking iterator over received messages.
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+
+    /// A channel with unlimited capacity.
+    ///
+    /// Implemented over a large-capacity sync channel; `usize::MAX / 2`
+    /// exceeds any queue this workspace produces.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(usize::MAX / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+    use std::thread;
+
+    #[test]
+    fn channels_move_values_across_threads() {
+        let (tx, rx) = bounded(4);
+        let handle = thread::spawn(move || {
+            for i in 0..10u32 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        handle.join().expect("sender thread");
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,415 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unfetchable offline). Supports the shapes this
+//! workspace uses: non-generic structs (named, tuple/newtype, unit) and
+//! enums whose variants are unit, tuple, or struct-like, with serde's
+//! default external representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize parses"),
+        Err(e) => error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize parses"),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens parse")
+}
+
+// --- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on generic type {name} is not supported by the stub"));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unexpected struct body {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            other => Err(format!("unexpected enum body {other:?}")),
+        },
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next(); // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a brace/paren body on top-level commas (angle-bracket aware).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks is never empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut tokens = chunk.into_iter().peekable();
+            skip_attrs_and_vis(&mut tokens);
+            match tokens.next() {
+                Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+                other => Err(format!("expected field name, got {other:?}")),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut tokens = chunk.into_iter().peekable();
+            skip_attrs_and_vis(&mut tokens);
+            let name = match tokens.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => return Err(format!("expected variant name, got {other:?}")),
+            };
+            let shape = match tokens.next() {
+                None => VariantShape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream())?)
+                }
+                other => return Err(format!("unexpected variant body {other:?}")),
+            };
+            Ok(Variant { name, shape })
+        })
+        .collect()
+}
+
+// --- codegen -----------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Content::Map(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Content::Null"),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_content(__f0)".to_owned()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Content::Seq(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Map(::std::vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {} }}", arms.join(" ")))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         __c.get({f:?}).unwrap_or(&::serde::Content::Null))?"
+                    )
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "match __c {{\n\
+                         ::serde::Content::Map(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"expected map for {name}, got {{__other:?}}\"))),\n\
+                     }}",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_content(__items.get({i}).unwrap_or(\
+                             &::serde::Content::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __c {{\n\
+                         ::serde::Content::Seq(__items) => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"expected seq for {name}, got {{__other:?}}\"))),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            let str_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(arity) if *arity == 1 => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(__payload)?)),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_content(__items.get({i})\
+                                         .unwrap_or(&::serde::Content::Null))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => match __payload {{\n\
+                                     ::serde::Content::Seq(__items) => \
+                                         ::std::result::Result::Ok({name}::{vname}({inits})),\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                         ::std::format!(\"expected seq payload, got {{__other:?}}\"))),\n\
+                                 }},",
+                                inits = inits.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         __payload.get({f:?}).unwrap_or(&::serde::Content::Null))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "match __c {{\n\
+                         ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                             {str_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 ::std::format!(\"unknown variant {{__other:?}} of {name}\"))),\n\
+                         }},\n\
+                         ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                             let (__tag, __payload) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {map_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                     ::std::format!(\"unknown variant {{__other:?}} of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"cannot read {name} from {{__other:?}}\"))),\n\
+                     }}",
+                    str_arms = str_arms.join("\n"),
+                    map_arms = map_arms.join("\n")
+                ),
+            )
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
