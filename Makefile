@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test bench-parallel verify fmt lint
+.PHONY: build test bench-parallel bench-textscan verify fmt lint
 
 build:
 	cargo build --release
@@ -11,6 +11,10 @@ test:
 # Writes BENCH_parallel.json: campaign/mining throughput at 1..N threads.
 bench-parallel:
 	sh scripts/bench_parallel.sh
+
+# Writes BENCH_textscan.json: naive vs automaton scan throughput at 1 thread.
+bench-textscan:
+	sh scripts/bench_textscan.sh
 
 verify:
 	cargo run --release -p faultstudy-harness --bin faultstudy -- verify

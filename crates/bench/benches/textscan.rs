@@ -1,0 +1,104 @@
+//! Benchmarks of the single-pass text-scan engine against the naive
+//! per-pattern `contains` scans it replaced: lexicon extraction, evidence
+//! extraction, keyword matching, and the full §4 funnel. Both sides
+//! produce bit-identical output (see the differential property tests), so
+//! these measure pure traversal and allocation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultstudy_core::evidence::Evidence;
+use faultstudy_core::lexicon::{conditions_in, conditions_in_naive};
+use faultstudy_core::report::BugReport;
+use faultstudy_core::taxonomy::AppKind;
+use faultstudy_corpus::{PopulationSpec, SyntheticPopulation};
+use faultstudy_mining::{Archive, KeywordQuery, SelectionPipeline};
+use std::hint::black_box;
+
+fn sample_reports() -> Vec<BugReport> {
+    let spec = PopulationSpec {
+        app: AppKind::Mysql,
+        archive_size: 500,
+        max_duplicates_per_fault: 2,
+        seed: 97,
+    };
+    SyntheticPopulation::generate(&spec).reports
+}
+
+fn bench_lexicon(c: &mut Criterion) {
+    let reports = sample_reports();
+    let texts: Vec<String> = reports.iter().map(BugReport::full_text).collect();
+    let mut group = c.benchmark_group("textscan_lexicon");
+    group.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(conditions_in_naive(black_box(t)));
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("automaton"), |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(conditions_in(black_box(t)));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_evidence(c: &mut Criterion) {
+    let reports = sample_reports();
+    let mut group = c.benchmark_group("textscan_evidence");
+    group.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| {
+            for r in &reports {
+                black_box(Evidence::extract_naive(black_box(r)));
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("automaton"), |b| {
+        b.iter(|| {
+            for r in &reports {
+                black_box(Evidence::extract(black_box(r)));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_keywords(c: &mut Criterion) {
+    let reports = sample_reports();
+    let q = KeywordQuery::mysql();
+    let mut group = c.benchmark_group("textscan_keywords");
+    group.bench_function(BenchmarkId::from_parameter("naive"), |b| {
+        b.iter(|| {
+            for r in &reports {
+                black_box(q.matches_naive(black_box(r)));
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("automaton"), |b| {
+        b.iter(|| {
+            for r in &reports {
+                black_box(q.matches(black_box(r)));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_funnel(c: &mut Criterion) {
+    // The end-to-end §4 funnel on a mid-size archive: keyword stage via
+    // the automaton plus the zero-copy index filtering.
+    let population =
+        SyntheticPopulation::generate(&PopulationSpec::paper_scale(AppKind::Gnome, 97));
+    let archive = Archive::new(AppKind::Gnome, population.reports);
+    let pipeline = SelectionPipeline::for_app(AppKind::Gnome);
+    let mut group = c.benchmark_group("textscan_funnel");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("gnome"), |b| {
+        b.iter(|| black_box(pipeline.run(black_box(&archive))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lexicon, bench_evidence, bench_keywords, bench_funnel);
+criterion_main!(benches);

@@ -18,6 +18,8 @@
 //! - [`evidence`] — [`evidence::Evidence`], the structured facts a
 //!   classifier needs, and extraction of evidence from report text.
 //! - [`lexicon`] — the keyword → condition lexicon used by extraction.
+//! - [`scanset`] — the shared single-pass Aho–Corasick scan set backing
+//!   the lexicon, the cue lists, and the §4 keyword search.
 //! - [`classify`] — the rule-based [`classify::Classifier`].
 //! - [`stats`] — chi-square homogeneity test quantifying the figures'
 //!   proportion-stability claim.
@@ -49,6 +51,7 @@ pub mod classify;
 pub mod evidence;
 pub mod lexicon;
 pub mod report;
+pub mod scanset;
 pub mod stats;
 pub mod study;
 pub mod taxonomy;

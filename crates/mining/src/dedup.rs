@@ -13,22 +13,44 @@ use std::collections::HashSet;
 
 /// Normalizes a title for duplicate comparison.
 ///
-/// Single pass over the word iterator: leading re-post markers are skipped
-/// with `skip_while` (no front-removal churn) and words are appended
-/// straight into the output buffer (no intermediate `Vec<String>`).
+/// Single pass, single allocation: characters are lowercased one at a
+/// time (`char::to_lowercase` yields the same stream `str::to_lowercase`
+/// would, without materializing the intermediate copy) and appended
+/// straight into the output buffer, splitting on non-alphanumerics as we
+/// go. Leading re-post markers are dropped by truncating the buffer when
+/// a just-finished first word turns out to be a marker.
 pub fn normalize_title(title: &str) -> String {
-    let lower = title.to_lowercase();
-    let words = lower
-        .split(|c: char| !c.is_alphanumeric())
-        .filter(|w| !w.is_empty())
-        .skip_while(|w| matches!(*w, "again" | "re" | "fwd"));
-    let mut out = String::with_capacity(lower.len());
-    for word in words {
-        if !out.is_empty() {
-            out.push(' ');
+    let mut out = String::with_capacity(title.len());
+    // Whether we are still before the first non-marker word; while true,
+    // `out` holds at most the current (candidate marker) word.
+    let mut skipping_markers = true;
+    let mut in_word = false;
+    let mut finish_word = |out: &mut String, in_word: &mut bool| {
+        if *in_word {
+            *in_word = false;
+            if skipping_markers {
+                if matches!(out.as_str(), "again" | "re" | "fwd") {
+                    out.clear();
+                } else {
+                    skipping_markers = false;
+                }
+            }
         }
-        out.push_str(word);
+    };
+    for ch in title.chars().flat_map(char::to_lowercase) {
+        if ch.is_alphanumeric() {
+            if !in_word {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                in_word = true;
+            }
+            out.push(ch);
+        } else {
+            finish_word(&mut out, &mut in_word);
+        }
     }
+    finish_word(&mut out, &mut in_word);
     out
 }
 
@@ -53,13 +75,40 @@ pub fn dedup_reports(reports: Vec<BugReport>) -> Vec<BugReport> {
 /// Panics if `norms.len() != reports.len()`.
 pub fn dedup_reports_with_norms(reports: Vec<BugReport>, norms: Vec<String>) -> Vec<BugReport> {
     assert_eq!(reports.len(), norms.len(), "one normalized title per report");
-    let mut paired: Vec<(BugReport, String)> = reports.into_iter().zip(norms).collect();
-    // Earliest report first so the primary survives.
-    paired.sort_by_key(|(r, _)| r.id);
+    let kept = dedup_indices_with_norms(&reports, (0..reports.len()).collect(), norms);
+    let mut slots: Vec<Option<BugReport>> = reports.into_iter().map(Some).collect();
+    kept.into_iter()
+        .map(|i| slots[i].take().expect("dedup keeps each index at most once"))
+        .collect()
+}
+
+/// The zero-copy core of [`dedup_reports_with_norms`]: operates on indices
+/// into a borrowed report slice, so the §4 pipeline can run the whole
+/// funnel without cloning a single report until the survivors are known.
+///
+/// `selected` are the indices still in the funnel (any order) and
+/// `norms[i]` must be `normalize_title(&reports[selected[i]].title)`.
+/// Returns the kept indices, ordered by report id — the same survivor set
+/// and order [`dedup_reports`] produces.
+///
+/// # Panics
+///
+/// Panics if `norms.len() != selected.len()` or an index is out of bounds.
+pub fn dedup_indices_with_norms(
+    reports: &[BugReport],
+    selected: Vec<usize>,
+    norms: Vec<String>,
+) -> Vec<usize> {
+    assert_eq!(selected.len(), norms.len(), "one normalized title per report");
+    let mut paired: Vec<(usize, String)> = selected.into_iter().zip(norms).collect();
+    // Earliest report first so the primary survives (stable, so equal ids
+    // keep their incoming order, exactly as the owned variant did).
+    paired.sort_by_key(|&(i, _)| reports[i].id);
     let mut seen_titles: HashSet<String> = HashSet::new();
     let mut kept_ids: HashSet<u64> = HashSet::new();
     let mut out = Vec::with_capacity(paired.len());
-    for (r, norm) in paired {
+    for (i, norm) in paired {
+        let r = &reports[i];
         if let Some(primary) = r.duplicate_of {
             if kept_ids.contains(&primary) {
                 continue; // formally linked duplicate of a kept report
@@ -69,7 +118,7 @@ pub fn dedup_reports_with_norms(reports: Vec<BugReport>, norms: Vec<String>) -> 
             continue; // same fault re-reported under an equivalent title
         }
         kept_ids.insert(r.id);
-        out.push(r);
+        out.push(i);
     }
     out
 }

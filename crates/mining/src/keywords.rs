@@ -6,12 +6,22 @@
 //! ones commonly used to describe serious bugs)"*.
 
 use faultstudy_core::report::BugReport;
+use faultstudy_core::scanset;
+use faultstudy_textscan::contains_ci;
 use serde::{Deserialize, Serialize};
 
-/// The paper's MySQL mailing-list keywords.
-pub const MYSQL_KEYWORDS: [&str; 4] = ["crash", "segmentation", "race", "died"];
+/// The paper's MySQL mailing-list keywords. The canonical list lives in
+/// [`faultstudy_core::scanset`] so the shared automaton can compile it;
+/// this re-export keeps the historical path working.
+pub use faultstudy_core::scanset::MYSQL_KEYWORDS;
 
 /// A disjunctive, case-insensitive keyword query.
+///
+/// The paper's own query (see [`KeywordQuery::mysql`]) is answered from a
+/// single pass of the shared Aho–Corasick automaton with zero per-report
+/// allocations; custom keyword sets fall back to an allocation-free
+/// per-keyword scan ([`contains_ci`]). Either way no `full_text`
+/// concatenation or `to_lowercase` copy is made.
 ///
 /// # Example
 ///
@@ -47,15 +57,47 @@ impl KeywordQuery {
         &self.keywords
     }
 
+    /// Whether this query is exactly the §4 MySQL keyword list and can be
+    /// answered from the shared automaton's hit bitset.
+    fn uses_shared_automaton(&self) -> bool {
+        scanset::shared().is_mysql_keywords(&self.keywords)
+    }
+
     /// Whether any keyword occurs in `text` (case-insensitive substring).
     pub fn matches_text(&self, text: &str) -> bool {
+        if self.uses_shared_automaton() {
+            let set = scanset::shared();
+            return set.matches_mysql_keywords(&set.hits_text(text));
+        }
+        self.keywords.iter().any(|k| contains_ci(text, k))
+    }
+
+    /// Whether any keyword occurs anywhere in the report. Each field is
+    /// scanned in place; the [`BugReport::full_text`] concatenation is
+    /// never materialized.
+    pub fn matches(&self, report: &BugReport) -> bool {
+        if self.uses_shared_automaton() {
+            let set = scanset::shared();
+            return set.matches_mysql_keywords(&set.hits_report(report));
+        }
+        [&report.title, &report.body, &report.how_to_repeat, &report.developer_notes]
+            .into_iter()
+            .any(|field| self.keywords.iter().any(|k| contains_ci(field, k)))
+    }
+
+    /// The pre-automaton reference implementation of
+    /// [`Self::matches_text`]: one `to_lowercase` allocation plus one
+    /// `contains` traversal per keyword. Ground truth for the
+    /// differential tests and the naive side of the `textscan` benches.
+    pub fn matches_text_naive(&self, text: &str) -> bool {
         let lower = text.to_lowercase();
         self.keywords.iter().any(|k| lower.contains(k))
     }
 
-    /// Whether any keyword occurs anywhere in the report.
-    pub fn matches(&self, report: &BugReport) -> bool {
-        self.matches_text(&report.full_text())
+    /// The pre-automaton reference implementation of [`Self::matches`]:
+    /// allocates the `full_text` concatenation, then lowercases it.
+    pub fn matches_naive(&self, report: &BugReport) -> bool {
+        self.matches_text_naive(&report.full_text())
     }
 }
 
@@ -68,6 +110,7 @@ mod tests {
     fn mysql_query_has_the_four_paper_keywords() {
         let q = KeywordQuery::mysql();
         assert_eq!(q.keywords(), ["crash", "segmentation", "race", "died"]);
+        assert!(q.uses_shared_automaton());
     }
 
     #[test]
@@ -94,5 +137,37 @@ mod tests {
     fn empty_query_matches_nothing() {
         let q = KeywordQuery::new(Vec::<String>::new());
         assert!(!q.matches_text("anything at all"));
+    }
+
+    #[test]
+    fn custom_queries_take_the_generic_path() {
+        let q = KeywordQuery::new(["hang", "deadlock"]);
+        assert!(!q.uses_shared_automaton());
+        assert!(q.matches_text("the UI DEADLOCKED"));
+        assert!(!q.matches_text("all good"));
+        let r = BugReport::builder(AppKind::Gnome, 2).body("panel hangs on startup").build();
+        assert!(q.matches(&r));
+    }
+
+    #[test]
+    fn fast_paths_agree_with_naive_reference() {
+        let mysql = KeywordQuery::mysql();
+        let custom = KeywordQuery::new(["hang", "crash"]);
+        for text in [
+            "it Crashes every day",
+            "SEGMENTATION fault",
+            "the server stopped responding",
+            "",
+            "networ\u{212A} died", // non-ASCII: fallback path
+        ] {
+            assert_eq!(mysql.matches_text(text), mysql.matches_text_naive(text), "{text:?}");
+            assert_eq!(custom.matches_text(text), custom.matches_text_naive(text), "{text:?}");
+        }
+        let r = BugReport::builder(AppKind::Mysql, 3)
+            .title("problem under load")
+            .how_to_repeat("run the stress suite until it died")
+            .build();
+        assert_eq!(mysql.matches(&r), mysql.matches_naive(&r));
+        assert_eq!(custom.matches(&r), custom.matches_naive(&r));
     }
 }

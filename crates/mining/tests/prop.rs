@@ -98,3 +98,99 @@ proptest! {
         prop_assert_eq!(kept.len(), distinct.len());
     }
 }
+
+/// Text woven from keyword fragments, near-misses, and filler.
+fn keyword_text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "crash".to_owned(),
+            "CRASHED".to_owned(),
+            "cras".to_owned(),
+            "segmentation".to_owned(),
+            "segment".to_owned(),
+            "race".to_owned(),
+            "embrace".to_owned(),
+            "died".to_owned(),
+            "die".to_owned(),
+            "the server stopped".to_owned(),
+            " ".to_owned(),
+            "\n".to_owned(),
+            "ordinary words".to_owned(),
+        ]),
+        0..8,
+    )
+    .prop_map(|fragments| fragments.concat())
+}
+
+proptest! {
+    /// The automaton-backed keyword match is bit-identical to the naive
+    /// lowercase-and-`contains` implementation, for both the paper's
+    /// MySQL query (shared-automaton path) and a custom query (the
+    /// `contains_ci` path), on woven and fully arbitrary text.
+    #[test]
+    fn keyword_match_agrees_with_naive(
+        woven in keyword_text_strategy(),
+        arbitrary in ".{0,100}",
+    ) {
+        let mysql = KeywordQuery::mysql();
+        let custom = KeywordQuery::new(["hang", "deadlock", "crash"]);
+        for text in [woven.as_str(), arbitrary.as_str()] {
+            prop_assert_eq!(
+                mysql.matches_text(text),
+                mysql.matches_text_naive(text),
+                "mysql query on {:?}", text
+            );
+            prop_assert_eq!(
+                custom.matches_text(text),
+                custom.matches_text_naive(text),
+                "custom query on {:?}", text
+            );
+        }
+    }
+
+    /// Report-level matching (field-by-field scan) agrees with the naive
+    /// `full_text` concatenation scan.
+    #[test]
+    fn report_match_agrees_with_naive(
+        title in keyword_text_strategy(),
+        body in ".{0,60}",
+        notes in keyword_text_strategy(),
+    ) {
+        let r = BugReport::builder(AppKind::Mysql, 1)
+            .title(title)
+            .body(body)
+            .developer_notes(notes)
+            .build();
+        let mysql = KeywordQuery::mysql();
+        prop_assert_eq!(mysql.matches(&r), mysql.matches_naive(&r));
+    }
+
+    /// The index-based dedup used by the zero-copy funnel selects exactly
+    /// the reports the owned dedup selects.
+    #[test]
+    fn index_dedup_agrees_with_owned_dedup(
+        titles in prop::collection::vec("[a-c]{0,4}", 0..30),
+    ) {
+        use faultstudy_mining::dedup::dedup_indices_with_norms;
+        let reports: Vec<BugReport> = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                BugReport::builder(AppKind::Apache, (titles.len() - i) as u64)
+                    .title(t.clone())
+                    .severity(Severity::Severe)
+                    .build()
+            })
+            .collect();
+        let norms: Vec<String> = reports.iter().map(|r| normalize_title(&r.title)).collect();
+        let kept = dedup_indices_with_norms(
+            &reports,
+            (0..reports.len()).collect(),
+            norms.clone(),
+        );
+        let owned = dedup_reports(reports.clone());
+        let via_indices: Vec<BugReport> =
+            kept.into_iter().map(|i| reports[i].clone()).collect();
+        prop_assert_eq!(via_indices, owned);
+    }
+}

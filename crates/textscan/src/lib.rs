@@ -1,0 +1,616 @@
+//! Single-pass, allocation-free multi-pattern text scanning.
+//!
+//! The mining funnel and the evidence extractor ask the same question of
+//! every report: *which of these fixed substrings occur in this text,
+//! case-insensitively?* Answered naively that is one `to_lowercase`
+//! allocation plus one `contains` traversal per pattern — roughly 95
+//! traversals of every report in the corpus. This crate answers it with a
+//! classic Aho–Corasick automaton instead: all patterns are compiled once
+//! into a DFA whose transition table covers all 256 byte values with ASCII
+//! case folding baked in, and a single left-to-right pass over the text —
+//! one table load per byte, no per-byte case or range checks — produces a
+//! [`HitSet`]: a fixed-size stack bitset recording every pattern that
+//! occurs. Scanning performs **zero heap allocations**.
+//!
+//! Byte-identical semantics with the naive implementation are preserved:
+//!
+//! - A pattern is "hit" exactly when `text.to_lowercase()` contains the
+//!   Unicode-lowercased pattern, the same predicate the naive scans use.
+//! - Non-ASCII text (or a non-ASCII pattern set) cannot be case folded
+//!   bytewise, so [`Automaton::scan`] transparently falls back to the
+//!   naive lowercase-and-`contains` path for that input. The fast path
+//!   covers every ASCII input, which is all of the paper's corpora.
+//!
+//! # Example
+//!
+//! ```
+//! use faultstudy_textscan::PatternSetBuilder;
+//!
+//! let mut b = PatternSetBuilder::new();
+//! let crash = b.add("crash");
+//! let race = b.add("race condition");
+//! let automaton = b.build();
+//!
+//! let hits = automaton.scan("Server CRASHED under load");
+//! assert!(hits.contains(crash));
+//! assert!(!hits.contains(race));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+/// Identifier of one pattern inside an [`Automaton`], assigned by
+/// [`PatternSetBuilder::add`] in insertion order (duplicates collapse onto
+/// the first id).
+pub type PatternId = u16;
+
+/// Number of 64-bit words in a [`HitSet`].
+const WORDS: usize = 4;
+
+/// Maximum number of distinct patterns one automaton can hold: the
+/// [`HitSet`] capacity. 256 comfortably covers the shared scan set
+/// (lexicon rules + reproducibility cues + search keywords ≈ 95 patterns).
+pub const MAX_PATTERNS: usize = WORDS * 64;
+
+/// The byte alphabet the DFA transitions over. Patterns are ASCII, but the
+/// table covers all 256 byte values so the scan loop needs no per-byte
+/// range or case check: uppercase columns mirror their lowercase twins
+/// (case folding is baked into the table) and non-ASCII columns carry the
+/// [`NON_ASCII`] sentinel that diverts to the naive fallback.
+const ALPHABET: usize = 256;
+
+/// High bit of a packed transition word: set when the target state has a
+/// non-empty output set, so the scan loop only touches the per-node hit
+/// sets on the rare bytes that complete a match.
+const HAS_OUTPUT: u32 = 1 << 31;
+
+/// Sentinel flag on the 128 non-ASCII columns: bytewise case folding would
+/// be wrong past this byte, so the scan bails out to the naive path.
+const NON_ASCII: u32 = 1 << 30;
+
+/// Mask extracting the target state from a packed transition word.
+const STATE_MASK: u32 = !(HAS_OUTPUT | NON_ASCII);
+
+/// A fixed-capacity bitset of pattern hits — `Copy`, stack-allocated, and
+/// therefore free to create per report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HitSet {
+    words: [u64; WORDS],
+}
+
+impl HitSet {
+    /// The empty set.
+    pub const EMPTY: HitSet = HitSet { words: [0; WORDS] };
+
+    /// Marks `id` as hit.
+    pub fn insert(&mut self, id: PatternId) {
+        self.words[usize::from(id) / 64] |= 1 << (usize::from(id) % 64);
+    }
+
+    /// Whether `id` was hit.
+    pub fn contains(&self, id: PatternId) -> bool {
+        self.words[usize::from(id) / 64] & (1 << (usize::from(id) % 64)) != 0
+    }
+
+    /// Unions `other` into `self`.
+    pub fn or_assign(&mut self, other: &HitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Whether no pattern was hit.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of patterns hit.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether at least one of `ids` was hit (disjunction).
+    pub fn any_of(&self, ids: &[PatternId]) -> bool {
+        ids.iter().any(|&id| self.contains(id))
+    }
+
+    /// Whether every one of `ids` was hit (conjunction).
+    pub fn all_of(&self, ids: &[PatternId]) -> bool {
+        ids.iter().all(|&id| self.contains(id))
+    }
+
+    /// The set containing exactly `ids`.
+    pub fn of(ids: &[PatternId]) -> HitSet {
+        let mut set = HitSet::EMPTY;
+        for &id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Whether the two sets share at least one pattern. Equivalent to
+    /// [`Self::any_of`] over the ids `other` was built from, in a fixed
+    /// four-word pass instead of a probe per id.
+    pub fn intersects(&self, other: &HitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(w, o)| w & o != 0)
+    }
+
+    /// Whether every pattern in `other` is also in `self`. Equivalent to
+    /// [`Self::all_of`] over the ids `other` was built from.
+    pub fn is_superset(&self, other: &HitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(w, o)| w & o == *o)
+    }
+}
+
+/// Collects patterns (deduplicated, case folded) and compiles them into an
+/// [`Automaton`].
+#[derive(Debug, Default)]
+pub struct PatternSetBuilder {
+    patterns: Vec<String>,
+}
+
+impl PatternSetBuilder {
+    /// An empty builder.
+    pub fn new() -> PatternSetBuilder {
+        PatternSetBuilder::default()
+    }
+
+    /// Registers `pattern` (stored Unicode-lowercased, matching the naive
+    /// scans' case folding) and returns its id. Adding the same pattern
+    /// twice returns the first id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set would exceed [`MAX_PATTERNS`].
+    pub fn add(&mut self, pattern: &str) -> PatternId {
+        let lowered = pattern.to_lowercase();
+        if let Some(pos) = self.patterns.iter().position(|p| *p == lowered) {
+            return pos as PatternId;
+        }
+        assert!(self.patterns.len() < MAX_PATTERNS, "pattern set exceeds {MAX_PATTERNS} patterns");
+        self.patterns.push(lowered);
+        (self.patterns.len() - 1) as PatternId
+    }
+
+    /// Compiles the collected patterns.
+    pub fn build(self) -> Automaton {
+        Automaton::compile(self.patterns)
+    }
+}
+
+/// A compiled multi-pattern matcher: one scan of the text reports every
+/// registered pattern that occurs in it.
+///
+/// Construction is the standard three steps — goto trie, BFS failure
+/// links, then full DFA conversion (every missing transition resolved
+/// through the failure chain at build time) with output sets propagated
+/// along failure links into per-node [`HitSet`]s. The scan loop is then
+/// branch-light: one table lookup per byte, plus one bitset union on the
+/// rare bytes whose target state completes a match.
+#[derive(Debug)]
+pub struct Automaton {
+    /// Packed DFA transitions: `next[state * ALPHABET + byte]` is the next
+    /// state index, with [`HAS_OUTPUT`] set when that state has outputs.
+    /// Empty when `ascii` is false (naive fallback only).
+    next: Vec<u32>,
+    /// Union of the patterns ending at each state (own outputs plus the
+    /// failure chain's).
+    node_hits: Vec<HitSet>,
+    /// The lowercased patterns, indexed by [`PatternId`]; retained for the
+    /// non-ASCII fallback path and introspection.
+    patterns: Vec<String>,
+    /// Whether the DFA tables were built: the pattern set is non-empty and
+    /// all-ASCII. False means every scan takes the naive path (or, for an
+    /// empty set, trivially returns).
+    ascii: bool,
+    /// Whether the root state has outputs (i.e. the set contains an empty
+    /// pattern); when false — the overwhelmingly common case — the scan
+    /// loop skips the up-front root-hits union entirely.
+    root_has_output: bool,
+}
+
+impl Automaton {
+    fn compile(patterns: Vec<String>) -> Automaton {
+        let ascii = !patterns.is_empty() && patterns.iter().all(|p| p.is_ascii());
+        if !ascii {
+            return Automaton {
+                next: Vec::new(),
+                node_hits: Vec::new(),
+                patterns,
+                ascii,
+                root_has_output: false,
+            };
+        }
+
+        // Goto trie. `u32::MAX` marks an absent edge until DFA conversion.
+        const NONE: u32 = u32::MAX;
+        let mut children: Vec<[u32; ALPHABET]> = vec![[NONE; ALPHABET]];
+        let mut node_hits: Vec<HitSet> = vec![HitSet::EMPTY];
+        for (id, pattern) in patterns.iter().enumerate() {
+            let mut node = 0usize;
+            for &b in pattern.as_bytes() {
+                let c = usize::from(b);
+                node = if children[node][c] == NONE {
+                    children.push([NONE; ALPHABET]);
+                    node_hits.push(HitSet::EMPTY);
+                    let new = (children.len() - 1) as u32;
+                    children[node][c] = new;
+                    new as usize
+                } else {
+                    children[node][c] as usize
+                };
+            }
+            node_hits[node].insert(id as PatternId);
+        }
+
+        // BFS: failure links, output propagation, and DFA conversion in one
+        // pass. Depth-1 nodes fail to the root; deeper nodes fail to where
+        // the root-ward DFA already goes on their edge byte.
+        let nodes = children.len();
+        let mut fail = vec![0u32; nodes];
+        let mut next = vec![0u32; nodes * ALPHABET];
+        let mut queue = VecDeque::new();
+        for c in 0..ALPHABET {
+            let child = children[0][c];
+            if child == NONE {
+                next[c] = 0;
+            } else {
+                fail[child as usize] = 0;
+                next[c] = child;
+                queue.push_back(child as usize);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            let f = fail[node] as usize;
+            let inherited = node_hits[f];
+            node_hits[node].or_assign(&inherited);
+            for c in 0..ALPHABET {
+                let through_fail = next[f * ALPHABET + c] & STATE_MASK;
+                let child = children[node][c];
+                if child == NONE {
+                    next[node * ALPHABET + c] = through_fail;
+                } else {
+                    fail[child as usize] = through_fail;
+                    next[node * ALPHABET + c] = child;
+                    queue.push_back(child as usize);
+                }
+            }
+        }
+
+        // Pack the has-output flag into every transition targeting an
+        // output state, so the scan loop can skip the bitset union on the
+        // (overwhelmingly common) bytes that complete no match.
+        for entry in &mut next {
+            if !node_hits[(*entry & STATE_MASK) as usize].is_empty() {
+                *entry |= HAS_OUTPUT;
+            }
+        }
+
+        // Bake case folding into the table (uppercase columns mirror their
+        // lowercase twins, flags included — patterns are lowercase, so the
+        // uppercase columns built above were dead) and mark the non-ASCII
+        // columns with the fallback sentinel.
+        for state in 0..nodes {
+            let row = state * ALPHABET;
+            for c in b'A'..=b'Z' {
+                next[row + usize::from(c)] = next[row + usize::from(c.to_ascii_lowercase())];
+            }
+            for entry in &mut next[row + 128..row + ALPHABET] {
+                *entry = NON_ASCII;
+            }
+        }
+
+        let root_has_output = !node_hits[0].is_empty();
+        Automaton { next, node_hits, patterns, ascii, root_has_output }
+    }
+
+    /// Number of distinct patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// The patterns, lowercased, indexed by [`PatternId`].
+    pub fn patterns(&self) -> &[String] {
+        &self.patterns
+    }
+
+    /// Whether the DFA fast path is available (non-empty, all-ASCII
+    /// pattern set).
+    pub fn is_ascii(&self) -> bool {
+        self.ascii
+    }
+
+    /// Scans `text` once and returns the set of patterns occurring in it.
+    pub fn scan(&self, text: &str) -> HitSet {
+        let mut hits = HitSet::EMPTY;
+        self.scan_into(&mut hits, text);
+        hits
+    }
+
+    /// Scans several independent text segments (e.g. the fields of a bug
+    /// report), accumulating hits across all of them. The automaton state
+    /// resets between segments, so no match spans a segment boundary —
+    /// exactly the semantics of scanning fields joined by `'\n'` with
+    /// patterns that contain no newline, which is how the naive scans
+    /// consume `BugReport::full_text()`.
+    pub fn scan_segments(&self, segments: &[&str]) -> HitSet {
+        let mut hits = HitSet::EMPTY;
+        let mut scanned_any = false;
+        for segment in segments {
+            if !segment.is_empty() {
+                self.scan_into(&mut hits, segment);
+                scanned_any = true;
+            }
+        }
+        // Empty segments can be skipped except when *all* were empty: a
+        // registered empty pattern still matches "" (as it matches any
+        // scanned text), so run one empty scan to report it.
+        if !scanned_any && !segments.is_empty() {
+            self.scan_into(&mut hits, "");
+        }
+        hits
+    }
+
+    /// Unions the patterns occurring in `text` into `hits`.
+    pub fn scan_into(&self, hits: &mut HitSet, text: &str) {
+        if !self.ascii {
+            if !self.patterns.is_empty() {
+                self.scan_naive(hits, text);
+            }
+            return;
+        }
+        // The root's outputs are the empty patterns, which match any text
+        // (including "") at position 0, mirroring `contains("") == true`.
+        if self.root_has_output {
+            let root_hits = self.node_hits[0];
+            hits.or_assign(&root_hits);
+        }
+        let mut state = 0usize;
+        for &b in text.as_bytes() {
+            let entry = self.next[state * ALPHABET + usize::from(b)];
+            state = (entry & STATE_MASK) as usize;
+            if entry & (HAS_OUTPUT | NON_ASCII) != 0 {
+                if entry & NON_ASCII != 0 {
+                    // Bytewise case folding would be wrong from here on
+                    // (e.g. U+212A KELVIN SIGN lowercases to ASCII 'k'):
+                    // rescan the whole segment naively. Hits already found
+                    // in the ASCII prefix are a subset of the naive hits,
+                    // so the union is exactly the naive result.
+                    self.scan_naive(hits, text);
+                    return;
+                }
+                hits.or_assign(&self.node_hits[state]);
+            }
+        }
+    }
+
+    /// The reference path: one lowercase allocation plus one `contains`
+    /// traversal per pattern. Used for non-ASCII input, where bytewise
+    /// case folding would be wrong (e.g. U+212A KELVIN SIGN lowercases to
+    /// ASCII `k`), and by the differential tests as the ground truth.
+    fn scan_naive(&self, hits: &mut HitSet, text: &str) {
+        let lower = text.to_lowercase();
+        for (id, pattern) in self.patterns.iter().enumerate() {
+            if lower.contains(pattern.as_str()) {
+                hits.insert(id as PatternId);
+            }
+        }
+    }
+}
+
+/// Whether `needle` occurs in `haystack` under the same case folding as
+/// the naive scans (`haystack.to_lowercase().contains(&needle.to_lowercase())`),
+/// without allocating on ASCII input.
+///
+/// This is the one-off cousin of [`Automaton::scan`] for callers with a
+/// single dynamic pattern (e.g. a custom keyword query) where compiling an
+/// automaton is not worth it.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_textscan::contains_ci;
+///
+/// assert!(contains_ci("Server CRASHED", "crash"));
+/// assert!(!contains_ci("all quiet", "crash"));
+/// assert!(contains_ci("anything", ""));
+/// ```
+pub fn contains_ci(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if !haystack.is_ascii() || !needle.is_ascii() {
+        return haystack.to_lowercase().contains(&needle.to_lowercase());
+    }
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    h.len() >= n.len() && h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn automaton(patterns: &[&str]) -> (Automaton, Vec<PatternId>) {
+        let mut b = PatternSetBuilder::new();
+        let ids = patterns.iter().map(|p| b.add(p)).collect();
+        (b.build(), ids)
+    }
+
+    #[test]
+    fn single_pattern_basic_hits() {
+        let (a, ids) = automaton(&["crash"]);
+        assert!(a.scan("the server crashed").contains(ids[0]));
+        assert!(a.scan("CRASH").contains(ids[0]));
+        assert!(!a.scan("all fine").contains(ids[0]));
+        assert!(!a.scan("").contains(ids[0]));
+    }
+
+    #[test]
+    fn overlapping_patterns_all_reported() {
+        // "dns" is a suffix of "reverse dns"; "he" overlaps "she" and
+        // "hers" shares its prefix — the classic Aho-Corasick example.
+        let (a, ids) = automaton(&["he", "she", "his", "hers"]);
+        let hits = a.scan("ushers");
+        assert!(hits.contains(ids[0]), "he inside ushers");
+        assert!(hits.contains(ids[1]), "she inside ushers");
+        assert!(!hits.contains(ids[2]), "no his");
+        assert!(hits.contains(ids[3]), "hers inside ushers");
+        assert_eq!(hits.len(), 3);
+
+        let (a, ids) = automaton(&["reverse dns", "dns"]);
+        let hits = a.scan("reverse dns lookup failed");
+        assert!(hits.contains(ids[0]) && hits.contains(ids[1]));
+        let hits = a.scan("plain dns lookup failed");
+        assert!(!hits.contains(ids[0]) && hits.contains(ids[1]));
+    }
+
+    #[test]
+    fn pattern_at_end_of_text() {
+        let (a, ids) = automaton(&["full", "disk"]);
+        let hits = a.scan("the disk is full");
+        assert!(hits.contains(ids[0]));
+        assert!(hits.contains(ids[1]));
+        // Exact-length text: the match consumes the final byte.
+        assert!(a.scan("full").contains(ids[0]));
+    }
+
+    #[test]
+    fn empty_pattern_set_matches_nothing() {
+        let a = PatternSetBuilder::new().build();
+        assert_eq!(a.pattern_count(), 0);
+        assert!(a.scan("any text at all").is_empty());
+        assert!(a.scan("").is_empty());
+        assert!(a.scan_segments(&["a", "b"]).is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let (a, ids) = automaton(&["", "crash"]);
+        assert!(a.scan("").contains(ids[0]));
+        assert!(a.scan("no keywords here").contains(ids[0]));
+        let hits = a.scan("crash");
+        assert!(hits.contains(ids[0]) && hits.contains(ids[1]));
+    }
+
+    #[test]
+    fn non_ascii_input_falls_back_to_naive() {
+        let (a, ids) = automaton(&["network", "crash"]);
+        // U+212A KELVIN SIGN Unicode-lowercases to ASCII 'k': the naive
+        // predicate matches, so the fallback must too.
+        let text = "networ\u{212A} trouble";
+        assert!(text.to_lowercase().contains("network"));
+        assert!(a.scan(text).contains(ids[0]));
+        // Plain non-ASCII text with an ASCII match elsewhere.
+        let hits = a.scan("caf\u{e9} server crash");
+        assert!(hits.contains(ids[1]));
+        assert!(!hits.contains(ids[0]));
+    }
+
+    #[test]
+    fn non_ascii_pattern_set_always_uses_naive_path() {
+        let (a, ids) = automaton(&["caf\u{e9}", "crash"]);
+        assert!(!a.is_ascii());
+        assert!(a.scan("visit the CAF\u{c9}").contains(ids[0]));
+        assert!(a.scan("plain ascii crash").contains(ids[1]));
+        assert!(!a.scan("nothing relevant").contains(ids[0]));
+    }
+
+    #[test]
+    fn duplicate_patterns_collapse_to_one_id() {
+        let mut b = PatternSetBuilder::new();
+        let first = b.add("crash");
+        let second = b.add("CRASH");
+        assert_eq!(first, second);
+        let a = b.build();
+        assert_eq!(a.pattern_count(), 1);
+    }
+
+    #[test]
+    fn segments_do_not_match_across_boundaries() {
+        let (a, ids) = automaton(&["race condition"]);
+        // Naive semantics: fields are joined by '\n', so "race" at the end
+        // of the title and "condition" at the start of the body is not a
+        // match.
+        assert!(!a.scan_segments(&["ends in race", "condition starts"]).contains(ids[0]));
+        assert!(a.scan_segments(&["fine", "a race condition here"]).contains(ids[0]));
+    }
+
+    #[test]
+    fn scan_matches_naive_on_the_lexicon_shapes() {
+        let patterns =
+            ["file system", "full", "race condition", "dns", "reverse dns", "no space left"];
+        let (a, ids) = automaton(&patterns);
+        for text in [
+            "Full File System on /var",
+            "a race condition between reverse dns lookups",
+            "no space left on device",
+            "perfectly healthy",
+            "",
+            "fulfil is not full-, wait, full",
+        ] {
+            let lower = text.to_lowercase();
+            for (pattern, &id) in patterns.iter().zip(&ids) {
+                assert_eq!(
+                    a.scan(text).contains(id),
+                    lower.contains(pattern),
+                    "{pattern:?} in {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hitset_operations() {
+        let mut h = HitSet::EMPTY;
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        h.insert(0);
+        h.insert(63);
+        h.insert(64);
+        h.insert(255);
+        assert_eq!(h.len(), 4);
+        assert!(h.contains(63) && h.contains(64) && h.contains(255));
+        assert!(!h.contains(1));
+        assert!(h.any_of(&[1, 64]));
+        assert!(!h.any_of(&[1, 2]));
+        assert!(h.all_of(&[0, 63, 64, 255]));
+        assert!(!h.all_of(&[0, 1]));
+        assert!(h.all_of(&[]));
+        let mut other = HitSet::EMPTY;
+        other.insert(7);
+        h.or_assign(&other);
+        assert!(h.contains(7));
+    }
+
+    #[test]
+    fn contains_ci_agrees_with_lowercase_contains() {
+        for (hay, needle) in [
+            ("Server CRASHED", "crash"),
+            ("Server CRASHED", "segmentation"),
+            ("", ""),
+            ("", "x"),
+            ("x", ""),
+            ("networ\u{212A}", "network"),
+            ("caf\u{e9}", "caf\u{e9}"),
+            ("ab", "abc"),
+        ] {
+            assert_eq!(
+                contains_ci(hay, needle),
+                hay.to_lowercase().contains(&needle.to_lowercase()),
+                "{hay:?} / {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern set exceeds")]
+    fn capacity_overflow_panics() {
+        let mut b = PatternSetBuilder::new();
+        for i in 0..=MAX_PATTERNS {
+            b.add(&format!("pattern-{i}"));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Differential property tests: the automaton agrees with the naive
+//! lowercase-and-`contains` predicate on arbitrary text.
+
+use faultstudy_textscan::{contains_ci, PatternSetBuilder};
+use proptest::prelude::*;
+
+/// Pattern shapes drawn from the real scan set: short words, two-word
+/// phrases, overlapping prefixes/suffixes.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "crash".to_owned(),
+        "race".to_owned(),
+        "race condition".to_owned(),
+        "dns".to_owned(),
+        "reverse dns".to_owned(),
+        "full".to_owned(),
+        "full file system".to_owned(),
+        "file system".to_owned(),
+        "no space left".to_owned(),
+        "a".to_owned(),
+        "ab".to_owned(),
+        "abc".to_owned(),
+    ])
+}
+
+/// Text built from fragments that deliberately collide with the patterns
+/// (prefixes, suffixes, case variants) plus arbitrary filler.
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "crash".to_owned(),
+            "CRASHED".to_owned(),
+            "race".to_owned(),
+            "condition".to_owned(),
+            "race condition".to_owned(),
+            "reverse".to_owned(),
+            "dns".to_owned(),
+            "file".to_owned(),
+            "system full".to_owned(),
+            "ful".to_owned(),
+            "ab".to_owned(),
+            "abcabc".to_owned(),
+            " ".to_owned(),
+            "\n".to_owned(),
+            "xyz".to_owned(),
+        ]),
+        0..12,
+    )
+    .prop_map(|fragments| fragments.concat())
+}
+
+proptest! {
+    /// Every pattern the automaton reports is exactly the set the naive
+    /// per-pattern `contains` scan finds.
+    #[test]
+    fn automaton_agrees_with_naive_contains(
+        patterns in prop::collection::vec(pattern_strategy(), 1..8),
+        text in text_strategy(),
+    ) {
+        let mut b = PatternSetBuilder::new();
+        let ids: Vec<_> = patterns.iter().map(|p| b.add(p)).collect();
+        let automaton = b.build();
+        let hits = automaton.scan(&text);
+        let lower = text.to_lowercase();
+        for (pattern, &id) in patterns.iter().zip(&ids) {
+            prop_assert_eq!(
+                hits.contains(id),
+                lower.contains(pattern.as_str()),
+                "pattern {:?} in text {:?}", pattern, &text
+            );
+        }
+    }
+
+    /// Scanning fields separately equals scanning them joined by '\n'
+    /// (the `full_text` layout), for patterns without newlines.
+    #[test]
+    fn segment_scan_equals_joined_scan(
+        patterns in prop::collection::vec(pattern_strategy(), 1..6),
+        a in "[a-z ]{0,20}",
+        b in "[a-z ]{0,20}",
+        c in "[a-z ]{0,20}",
+    ) {
+        let mut builder = PatternSetBuilder::new();
+        for p in &patterns {
+            builder.add(p);
+        }
+        let automaton = builder.build();
+        let joined = format!("{a}\n{b}\n{c}");
+        prop_assert_eq!(automaton.scan_segments(&[&a, &b, &c]), automaton.scan(&joined));
+    }
+
+    /// `contains_ci` agrees with the lowercase-then-contains predicate.
+    #[test]
+    fn contains_ci_agrees_with_naive(
+        hay in ".{0,60}",
+        needle in pattern_strategy(),
+    ) {
+        prop_assert_eq!(
+            contains_ci(&hay, &needle),
+            hay.to_lowercase().contains(&needle.to_lowercase()),
+            "needle {:?} in hay {:?}", &needle, &hay
+        );
+    }
+}

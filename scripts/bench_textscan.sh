@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_textscan.json (naive vs automaton text-scan
+# reports/sec over the 44k-report MySQL archive at one thread). Run from
+# the repo root:
+#
+#   sh scripts/bench_textscan.sh
+#
+# or via make: `make bench-textscan`.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_textscan -- BENCH_textscan.json
