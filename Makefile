@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test bench-parallel bench-textscan verify fmt lint
+.PHONY: build test bench-parallel bench-textscan bench-obs verify fmt lint
 
 build:
 	cargo build --release
@@ -15,6 +15,10 @@ bench-parallel:
 # Writes BENCH_textscan.json: naive vs automaton scan throughput at 1 thread.
 bench-textscan:
 	sh scripts/bench_textscan.sh
+
+# Writes BENCH_obs.json: metrics-layer overhead on an instrumented campaign.
+bench-obs:
+	sh scripts/bench_obs.sh
 
 verify:
 	cargo run --release -p faultstudy-harness --bin faultstudy -- verify

@@ -1,0 +1,109 @@
+//! Writes `BENCH_obs.json`: the observability layer's overhead on an
+//! instrumented fault-injection campaign versus the plain one.
+//!
+//! Correctness comes before timing, in two steps:
+//!
+//! 1. **Byte-identity**: the instrumented campaign's report must serialize
+//!    to exactly the same JSON as the uninstrumented one — recording
+//!    metrics is pure observation and must not perturb the simulation.
+//! 2. **Thread invariance**: the merged registry must be identical at 1, 2,
+//!    and 8 worker threads — per-sample registries merged in index order
+//!    are a pure function of the seed.
+//!
+//! Only then is the overhead timed: best-of-`REPS` wall clock for the
+//! plain and instrumented campaign at a fixed thread count. The budget is
+//! <5% (the registry is a handful of `BTreeMap` upserts per recovery,
+//! nothing per successful request).
+//!
+//! ```text
+//! cargo run --release -p faultstudy-bench --bin bench_obs [OUT_PATH]
+//! # CI smoke: BENCH_OBS_REPS=1 BENCH_OBS_SAMPLES=60 cargo run ...
+//! ```
+
+use faultstudy_exec::ParallelSpec;
+use faultstudy_harness::{CampaignReport, CampaignSpec};
+use std::time::Instant;
+
+const SEED: u64 = 2000;
+
+fn env_or(name: &str, default: u32) -> u32 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One timed run of `f`, in wall-clock seconds.
+fn time_once<F: FnMut()>(f: &mut F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` wall-clock seconds for `a` and `b`, interleaved so both
+/// see the same machine conditions (frequency drift, competing load).
+fn time_pair<A: FnMut(), B: FnMut()>(reps: u32, mut a: A, mut b: B) -> (f64, f64) {
+    // Warm-up pass: fault in code and allocator state before timing.
+    let _ = time_once(&mut a);
+    let _ = time_once(&mut b);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        best_a = best_a.min(time_once(&mut a));
+        best_b = best_b.min(time_once(&mut b));
+    }
+    (best_a, best_b)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_obs.json".to_owned());
+    let reps = env_or("BENCH_OBS_REPS", 15);
+    let samples = env_or("BENCH_OBS_SAMPLES", 600);
+    let spec = CampaignSpec { samples, seed: SEED };
+    let parallel = ParallelSpec::threads(2);
+
+    // 1. Instrumentation must not perturb the campaign: byte-identical JSON.
+    let plain = CampaignReport::run_with(spec, parallel);
+    let (instrumented, registry) = CampaignReport::run_instrumented(spec, parallel);
+    let plain_json = serde_json::to_string(&plain).expect("report serializes");
+    let instrumented_json = serde_json::to_string(&instrumented).expect("report serializes");
+    assert_eq!(plain_json, instrumented_json, "instrumented campaign diverged from plain");
+
+    // 2. The registry must be a pure function of the seed: identical at
+    //    every thread count.
+    for threads in [1usize, 2, 8] {
+        let (report, reg) = CampaignReport::run_instrumented(spec, ParallelSpec::threads(threads));
+        assert_eq!(report, plain, "report diverged at {threads} threads");
+        assert_eq!(reg, registry, "registry diverged at {threads} threads");
+    }
+    eprintln!("identity: instrumented == plain, registry invariant at 1/2/8 threads");
+
+    // 3. Only now is the overhead worth measuring.
+    let (plain_secs, instrumented_secs) = time_pair(
+        reps,
+        || {
+            std::hint::black_box(CampaignReport::run_with(spec, parallel));
+        },
+        || {
+            std::hint::black_box(CampaignReport::run_instrumented(spec, parallel));
+        },
+    );
+    let overhead_pct = (instrumented_secs / plain_secs - 1.0) * 100.0;
+    eprintln!("plain:        {plain_secs:.4}s");
+    eprintln!("instrumented: {instrumented_secs:.4}s");
+    eprintln!("overhead:     {overhead_pct:+.2}% (budget <5%)");
+
+    let ttr_strategies =
+        registry.histograms().filter(|(k, _)| k.starts_with("recovery.ttr{")).count();
+    let doc = serde_json::json!({
+        "seed": SEED,
+        "samples": samples,
+        "reps": reps,
+        "threads": 2,
+        "identity": "report byte-identical; registry invariant at 1/2/8 threads",
+        "ttr_strategies": ttr_strategies,
+        "plain_seconds": plain_secs,
+        "instrumented_seconds": instrumented_secs,
+        "overhead_pct": overhead_pct,
+        "budget_pct": 5.0,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
+    std::fs::write(&out_path, rendered + "\n").expect("write BENCH_obs.json");
+    eprintln!("wrote {out_path}");
+}

@@ -81,6 +81,15 @@ impl FaultClass {
             FaultClass::EnvDependentTransient => "environment-dependent-transient",
         }
     }
+
+    /// Compact label for column headers and metric keys.
+    pub fn short(self) -> &'static str {
+        match self {
+            FaultClass::EnvironmentIndependent => "env-indep",
+            FaultClass::EnvDependentNonTransient => "nontransient",
+            FaultClass::EnvDependentTransient => "transient",
+        }
+    }
 }
 
 impl fmt::Display for FaultClass {
@@ -225,6 +234,12 @@ mod tests {
             FaultClass::EnvDependentTransient.to_string(),
             "environment-dependent-transient"
         );
+    }
+
+    #[test]
+    fn short_labels_are_distinct() {
+        let shorts: Vec<_> = FaultClass::ALL.iter().map(|c| c.short()).collect();
+        assert_eq!(shorts, ["env-indep", "nontransient", "transient"]);
     }
 
     #[test]

@@ -91,6 +91,17 @@ impl CuratedFault {
         FaultClass::from_condition(self.trigger)
     }
 
+    /// How many times the trigger request must be issued for the fault to
+    /// manifest. Resource-leak triggers need repetition — each request leaks
+    /// a little until the pool is gone — while every other trigger (and
+    /// every environment-independent fault) fires on the first attempt.
+    pub fn trigger_reps(&self) -> usize {
+        match self.trigger {
+            Some(ConditionKind::ResourceLeak) => 3,
+            _ => 1,
+        }
+    }
+
     /// Release the fault was reported against.
     pub fn release(&self) -> &str {
         &self.release
@@ -182,6 +193,21 @@ mod tests {
         e.trigger = None;
         let f = CuratedFault::from_entry(AppKind::Mysql, &["a", "b"], &e);
         assert_eq!(f.class(), FaultClass::EnvironmentIndependent);
+    }
+
+    #[test]
+    fn trigger_reps_follow_the_condition() {
+        let mut e = sample_entry();
+        e.trigger = Some(ConditionKind::ResourceLeak);
+        let f = CuratedFault::from_entry(AppKind::Apache, &["a", "b"], &e);
+        assert_eq!(f.trigger_reps(), 3, "leaks need repetition to drain the pool");
+        assert_eq!(
+            CuratedFault::from_entry(AppKind::Apache, &["a", "b"], &sample_entry()).trigger_reps(),
+            1
+        );
+        e.trigger = None;
+        let f = CuratedFault::from_entry(AppKind::Apache, &["a", "b"], &e);
+        assert_eq!(f.trigger_reps(), 1);
     }
 
     #[test]

@@ -70,12 +70,36 @@ impl EntropyPool {
     }
 
     fn settle(&mut self, now: SimTime) {
-        if now > self.last_update {
-            let elapsed = now.saturating_since(self.last_update);
-            let gained = self.refill_bits_per_sec.saturating_mul(elapsed.as_nanos())
-                / Duration::from_secs(1).as_nanos();
-            self.bits = (self.bits + gained).min(self.capacity_bits);
+        if now <= self.last_update {
+            return;
+        }
+        // A full pool accrues nothing, and a dead rate never will: in both
+        // cases the elapsed time carries no refill progress to preserve.
+        if self.bits >= self.capacity_bits || self.refill_bits_per_sec == 0 {
             self.last_update = now;
+            return;
+        }
+        let per_sec = Duration::from_secs(1).as_nanos();
+        let elapsed = now.saturating_since(self.last_update).as_nanos();
+        let gained = self.refill_bits_per_sec.saturating_mul(elapsed) / per_sec;
+        if gained == 0 {
+            // Not enough time for one whole bit. Leave `last_update` where
+            // it is so the fractional progress keeps accruing: advancing it
+            // here would let frequent polling (is_exhausted_at every 1ms)
+            // discard every remainder and starve the refill entirely.
+            return;
+        }
+        if gained >= self.capacity_bits - self.bits {
+            self.bits = self.capacity_bits;
+            self.last_update = now;
+        } else {
+            self.bits += gained;
+            // Consume only the nanoseconds actually converted into bits;
+            // the remainder stays banked in `last_update` for the next
+            // settle, making refill independent of polling frequency.
+            let consumed = gained.saturating_mul(per_sec) / self.refill_bits_per_sec;
+            self.last_update =
+                self.last_update.saturating_add(Duration::from_nanos(consumed.min(elapsed)));
         }
     }
 
@@ -164,6 +188,48 @@ mod tests {
         p.drain(SimTime::from_secs(10));
         // An earlier timestamp neither refills nor panics.
         assert_eq!(p.available_at(SimTime::from_secs(5)), 0);
+    }
+
+    #[test]
+    fn refill_is_independent_of_polling_frequency() {
+        // 10 bits/sec means one bit per 100ms; polling every 1ms floors
+        // each increment to zero bits. The old settle advanced
+        // `last_update` anyway, discarding every fractional remainder, so
+        // a frequently-polled pool never refilled at all.
+        let mut polled = EntropyPool::new(100, 10, SimTime::ZERO);
+        polled.drain(SimTime::ZERO);
+        let mut idle = polled.clone();
+        for ms in 1..=3000 {
+            polled.is_exhausted_at(SimTime::from_millis(ms));
+        }
+        assert_eq!(
+            polled.available_at(SimTime::from_secs(3)),
+            idle.available_at(SimTime::from_secs(3)),
+            "polling must not slow the refill"
+        );
+        assert_eq!(polled.available_at(SimTime::from_secs(3)), 30);
+    }
+
+    #[test]
+    fn sub_bit_remainders_accumulate_across_settles() {
+        // 3 bits/sec: each settle at a 400ms boundary gains 1 bit and
+        // banks the extra 66.67ms toward the next one.
+        let mut p = EntropyPool::new(100, 3, SimTime::ZERO);
+        p.drain(SimTime::ZERO);
+        for ms in (400..=4000).step_by(400) {
+            p.available_at(SimTime::from_millis(ms));
+        }
+        // 4 seconds at 3 bits/sec is exactly 12 bits, however often we polled.
+        assert_eq!(p.available_at(SimTime::from_secs(4)), 12);
+    }
+
+    #[test]
+    fn full_pool_does_not_bank_refill_time() {
+        let mut p = EntropyPool::new(100, 10, SimTime::ZERO);
+        // Sit full for an hour, then drain: no credit for the idle time.
+        assert_eq!(p.available_at(SimTime::from_secs(3600)), 100);
+        p.drain(SimTime::from_secs(3600));
+        assert_eq!(p.available_at(SimTime::from_secs(3601)), 10, "refill restarts from the drain");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::fs::VirtualFs;
 use crate::host::HostConfig;
 use crate::network::{LinkQuality, Network};
 use crate::proctable::ProcessTable;
+use faultstudy_obs::Metrics;
 use faultstudy_sim::rng::{DetRng, Xoshiro256StarStar};
 use faultstudy_sim::sched::Interleaver;
 use faultstudy_sim::time::{Clock, Duration, SimTime};
@@ -66,6 +67,10 @@ pub struct Environment {
     pub host: HostConfig,
     /// Trace of environment-level events.
     pub trace: Trace,
+    /// Deterministic metrics sink; disabled unless the builder opted in.
+    /// Everything recorded here is measured in simulated time, so an
+    /// instrumented run computes exactly what an uninstrumented one does.
+    pub metrics: Metrics,
     rng: Xoshiro256StarStar,
     interleave_seed: u64,
     recovery_takes: Duration,
@@ -218,6 +223,7 @@ pub struct EnvironmentBuilder {
     entropy_rate: u64,
     hostname: String,
     recovery_takes: Duration,
+    metrics: bool,
 }
 
 impl Default for EnvironmentBuilder {
@@ -237,6 +243,7 @@ impl Default for EnvironmentBuilder {
             entropy_rate: 256,
             hostname: "sim-host".to_owned(),
             recovery_takes: Duration::from_secs(1),
+            metrics: false,
         }
     }
 }
@@ -297,6 +304,15 @@ impl EnvironmentBuilder {
         self
     }
 
+    /// Enables the deterministic metrics sink (disabled by default).
+    /// Recording is pure observation — it never touches the clock or the
+    /// RNG — so an instrumented environment computes byte-identical
+    /// results to an uninstrumented one.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// Builds the environment.
     pub fn build(self) -> Environment {
         let mut rng = Xoshiro256StarStar::seed_from(self.seed);
@@ -311,6 +327,7 @@ impl EnvironmentBuilder {
             entropy: EntropyPool::new(self.entropy_bits, self.entropy_rate, SimTime::ZERO),
             host: HostConfig::new(self.hostname),
             trace: Trace::default(),
+            metrics: if self.metrics { Metrics::enabled() } else { Metrics::disabled() },
             rng,
             interleave_seed,
             recovery_takes: self.recovery_takes,

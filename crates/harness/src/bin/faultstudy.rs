@@ -9,9 +9,12 @@
 //!   summary    the §5.4 discussion numbers
 //!   mine       the §4 selection funnels at paper scale
 //!   recover    the end-to-end recovery matrix (§5.4/§8 future work)
+//!   campaign   randomized (fault, strategy, seed) sampling in distribution
+//!   metrics    deterministic observability: TTR histograms + stage timings
+//!   verify     CI self-check: exits non-zero if a guarantee fails
 //!   lee-iyer   the §7 reconciliation with \[Lee93\]
 //!   experiments the paper-vs-measured report (EXPERIMENTS.md)
-//!   all        everything above, in order
+//!   all        the report commands (tables through lee-iyer), in order
 //! ```
 
 use faultstudy_core::taxonomy::AppKind;
@@ -37,7 +40,7 @@ struct Options {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--json]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options { seed: 2000, json: false, parallel: ParallelSpec::AUTO };
@@ -74,6 +77,7 @@ fn main() -> ExitCode {
         "lee-iyer" => lee_iyer(&opts),
         "experiments" => print!("{}", faultstudy_harness::experiments_markdown(opts.seed)),
         "campaign" => campaign(&opts),
+        "metrics" => metrics(&opts),
         "verify" => return verify(&opts),
         "all" => {
             tables(&opts);
@@ -213,6 +217,80 @@ fn verify(opts: &Options) -> ExitCode {
             eprintln!("verify: FAILED: {p}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// The observability surface: time-to-recovery distributions per strategy
+/// from an instrumented matrix run, plus the mining pipeline's per-stage
+/// timings, all measured in simulated time and byte-identical for every
+/// seed and thread count.
+fn metrics(opts: &Options) {
+    use faultstudy_harness::paper_scale_funnels_instrumented;
+    use faultstudy_harness::StrategyKind;
+    use faultstudy_sim::time::Duration;
+
+    let (matrix, mut registry) = RecoveryMatrix::run_instrumented(opts.seed);
+    let (_, mining) = paper_scale_funnels_instrumented(opts.seed, opts.parallel);
+    registry.merge_from(&mining);
+
+    if opts.json {
+        let mut ttr: Vec<(String, serde_json::Value)> = Vec::new();
+        for strategy in StrategyKind::ALL {
+            if let Some(h) = registry.histogram("recovery.ttr", strategy.name()) {
+                ttr.push((
+                    strategy.name().to_owned(),
+                    serde_json::json!({
+                        "n": h.count(),
+                        "p50_ns": h.p50(),
+                        "p90_ns": h.p90(),
+                        "max_ns": h.max(),
+                    }),
+                ));
+            }
+        }
+        let mut stages: Vec<(String, serde_json::Value)> = Vec::new();
+        for (key, reports) in registry.counters() {
+            let Some(label) = key.strip_prefix("mining.stage.reports{") else { continue };
+            let label = label.trim_end_matches('}');
+            stages.push((
+                label.to_owned(),
+                serde_json::json!({
+                    "reports": reports,
+                    "nanos": registry.counter("mining.stage.nanos", label),
+                    "reports_per_sec": registry.gauge("mining.stage.rps", label),
+                }),
+            ));
+        }
+        let value = serde_json::json!({
+            "seed": opts.seed,
+            "time_to_recovery": serde_json::Value::Map(ttr),
+            "mining_stages": serde_json::Value::Map(stages),
+            "registry": registry,
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("metrics serialize"));
+        return;
+    }
+
+    print!("{}", matrix.render_with_ttr(&registry));
+    println!("mining stage timings (simulated cost model):");
+    println!("{:<32} {:>10} {:>12} {:>14}", "app/stage", "reports", "time", "reports/s");
+    let stages: Vec<String> = registry
+        .counters()
+        .filter_map(|(k, _)| {
+            k.strip_prefix("mining.stage.reports{").map(|l| l.trim_end_matches('}').to_owned())
+        })
+        .collect();
+    for label in stages {
+        let reports = registry.counter("mining.stage.reports", &label);
+        let nanos = registry.counter("mining.stage.nanos", &label);
+        let rps = registry.gauge("mining.stage.rps", &label).unwrap_or(0);
+        println!(
+            "{:<32} {:>10} {:>12} {:>14}",
+            label,
+            reports,
+            Duration::from_nanos(nanos).to_string(),
+            rps
+        );
     }
 }
 

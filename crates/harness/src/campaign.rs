@@ -7,10 +7,11 @@
 //! the only stochastic cell (races depend on the drawn interleavings), so
 //! the campaign reports their survival rate with its spread.
 
-use crate::experiment::{run_fault_experiment, StrategyKind};
+use crate::experiment::{run_fault_experiment, run_fault_experiment_instrumented, StrategyKind};
 use faultstudy_core::taxonomy::FaultClass;
-use faultstudy_corpus::full_corpus;
+use faultstudy_corpus::{full_corpus, CuratedFault};
 use faultstudy_exec::{run_indexed, ParallelSpec};
+use faultstudy_obs::MetricsRegistry;
 use faultstudy_sim::rng::{split_seed, DetRng, Xoshiro256StarStar};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -61,7 +62,74 @@ struct Sample {
     class: FaultClass,
     strategy: StrategyKind,
     survived: bool,
+    recoveries: u32,
     anomaly: Option<String>,
+    /// `Some` only for instrumented samples that recorded anything — most
+    /// samples never recover and produce an empty registry, which the
+    /// aggregation can skip outright.
+    metrics: Option<MetricsRegistry>,
+}
+
+/// Draws the `(fault, strategy, env_seed)` triple of sample `index`.
+///
+/// Shared by the plain and instrumented campaign paths so the draw — and
+/// therefore every downstream result — is identical between them.
+fn draw(
+    spec: CampaignSpec,
+    corpus: &[CuratedFault],
+    index: usize,
+) -> (&CuratedFault, StrategyKind, u64) {
+    let mut rng = Xoshiro256StarStar::seed_from(split_seed(spec.seed, index as u64));
+    let fault = &corpus[rng.below(corpus.len() as u64) as usize];
+    let strategy = StrategyKind::ALL[rng.below(StrategyKind::ALL.len() as u64) as usize];
+    (fault, strategy, rng.next_u64())
+}
+
+fn aggregate(
+    spec: CampaignSpec,
+    samples: Vec<Sample>,
+    instrumented: bool,
+) -> (CampaignReport, MetricsRegistry) {
+    let mut cells: BTreeMap<(FaultClass, StrategyKind), (u32, u32)> = BTreeMap::new();
+    let mut anomalies = Vec::new();
+    // Per-sample registries merge in index order, so the merged registry is
+    // the same for every thread count.
+    let mut registry = MetricsRegistry::new();
+    for sample in samples {
+        let cell = cells.entry((sample.class, sample.strategy)).or_insert((0, 0));
+        cell.1 += 1;
+        cell.0 += u32::from(sample.survived);
+        anomalies.extend(sample.anomaly);
+        if let Some(reg) = &sample.metrics {
+            registry.merge_from(reg);
+        }
+        if instrumented {
+            // Counters derivable from the outcome live with the
+            // aggregation, not the sample: one upsert here is cheaper than
+            // a fresh key in every per-sample registry plus a merge.
+            registry.incr("experiment.total", sample.strategy.name(), 1);
+            if sample.survived {
+                registry.incr("experiment.survived", sample.strategy.name(), 1);
+            }
+            if sample.recoveries > 0 {
+                registry.incr(
+                    "recovery.actions",
+                    sample.strategy.name(),
+                    u64::from(sample.recoveries),
+                );
+            }
+        }
+    }
+    let cells = cells
+        .into_iter()
+        .map(|((class, strategy), (survived, total))| CampaignCell {
+            class,
+            strategy,
+            survived,
+            total,
+        })
+        .collect();
+    (CampaignReport { spec, cells, anomalies }, registry)
 }
 
 impl CampaignReport {
@@ -78,13 +146,37 @@ impl CampaignReport {
     /// index order. The report is therefore byte-identical for every thread
     /// count.
     pub fn run_with(spec: CampaignSpec, parallel: ParallelSpec) -> CampaignReport {
+        Self::run_sampled(spec, parallel, false).0
+    }
+
+    /// Runs the campaign with per-sample metrics enabled, returning the
+    /// merged registry alongside the (unchanged) report.
+    ///
+    /// The registry aggregates the supervisor's time-to-recovery and retry
+    /// histograms per strategy and per `(class, strategy)` cell. It is as
+    /// deterministic as the report itself: per-sample registries merge in
+    /// index order, so the result is byte-identical at any thread count.
+    pub fn run_instrumented(
+        spec: CampaignSpec,
+        parallel: ParallelSpec,
+    ) -> (CampaignReport, MetricsRegistry) {
+        Self::run_sampled(spec, parallel, true)
+    }
+
+    fn run_sampled(
+        spec: CampaignSpec,
+        parallel: ParallelSpec,
+        instrumented: bool,
+    ) -> (CampaignReport, MetricsRegistry) {
         let corpus = full_corpus();
         let samples = run_indexed(spec.samples as usize, parallel, |index| {
-            let mut rng = Xoshiro256StarStar::seed_from(split_seed(spec.seed, index as u64));
-            let fault = &corpus[rng.below(corpus.len() as u64) as usize];
-            let strategy = StrategyKind::ALL[rng.below(StrategyKind::ALL.len() as u64) as usize];
-            let env_seed = rng.next_u64();
-            let out = run_fault_experiment(fault, strategy, env_seed);
+            let (fault, strategy, env_seed) = draw(spec, &corpus, index);
+            let (out, metrics) = if instrumented {
+                let (out, reg) = run_fault_experiment_instrumented(fault, strategy, env_seed);
+                (out, (!reg.is_empty()).then_some(reg))
+            } else {
+                (run_fault_experiment(fault, strategy, env_seed), None)
+            };
             // The deterministic guarantees of the taxonomy.
             let violates = out.survived
                 && (out.class == FaultClass::EnvironmentIndependent
@@ -94,30 +186,14 @@ impl CampaignReport {
                 class: out.class,
                 strategy,
                 survived: out.survived,
+                recoveries: out.recoveries,
                 anomaly: violates.then(|| {
                     format!("{} survived {} at seed {env_seed}", out.slug, strategy.name())
                 }),
+                metrics,
             }
         });
-
-        let mut cells: BTreeMap<(FaultClass, StrategyKind), (u32, u32)> = BTreeMap::new();
-        let mut anomalies = Vec::new();
-        for sample in samples {
-            let cell = cells.entry((sample.class, sample.strategy)).or_insert((0, 0));
-            cell.1 += 1;
-            cell.0 += u32::from(sample.survived);
-            anomalies.extend(sample.anomaly);
-        }
-        let cells = cells
-            .into_iter()
-            .map(|((class, strategy), (survived, total))| CampaignCell {
-                class,
-                strategy,
-                survived,
-                total,
-            })
-            .collect();
-        CampaignReport { spec, cells, anomalies }
+        aggregate(spec, samples, instrumented)
     }
 
     /// Survival rate of transient faults under `strategy` over the
@@ -187,6 +263,33 @@ mod tests {
     fn campaigns_are_reproducible() {
         let spec = CampaignSpec { samples: 50, seed: 7 };
         assert_eq!(CampaignReport::run(spec), CampaignReport::run(spec));
+    }
+
+    #[test]
+    fn instrumented_campaign_reproduces_the_plain_report() {
+        let spec = CampaignSpec { samples: 60, seed: 11 };
+        let plain = CampaignReport::run(spec);
+        let (report, registry) = CampaignReport::run_instrumented(spec, ParallelSpec::default());
+        assert_eq!(report, plain, "metrics must not perturb the campaign");
+        let total: u64 =
+            StrategyKind::ALL.iter().map(|s| registry.counter("experiment.total", s.name())).sum();
+        assert_eq!(total, 60, "every sample counted exactly once");
+        // Some sampled strategy recovered a transient fault, so at least
+        // one TTR distribution is populated.
+        assert!(registry.histograms().any(|(k, _)| k.starts_with("recovery.ttr")));
+    }
+
+    #[test]
+    fn instrumented_registry_is_identical_across_thread_counts() {
+        let spec = CampaignSpec { samples: 40, seed: 5 };
+        let (ref_report, ref_registry) =
+            CampaignReport::run_instrumented(spec, ParallelSpec::threads(1));
+        for threads in [2usize, 8] {
+            let (report, registry) =
+                CampaignReport::run_instrumented(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, ref_report, "{threads} threads");
+            assert_eq!(registry, ref_registry, "{threads} threads");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use faultstudy_apps::{spawn_app, Request};
 use faultstudy_core::taxonomy::FaultClass;
 use faultstudy_corpus::CuratedFault;
 use faultstudy_env::Environment;
+use faultstudy_obs::MetricsRegistry;
 use faultstudy_recovery::{
     run_workload, AppSpecific, NoRecovery, ProcessPair, ProgressiveRetry, RecoveryStrategy,
     Rejuvenation, RestartRetry, RollbackRecovery,
@@ -103,15 +104,50 @@ pub struct FaultOutcome {
 /// repeated as its How-To-Repeat demands, and a trailing request proving
 /// continued service.
 fn workload_for(fault: &CuratedFault, benign: Request, trigger: Request) -> Vec<Request> {
-    // The resource-leak fault manifests under sustained load (§5.1 "high
-    // load"): its trigger must be repeated past the leak threshold.
-    let trigger_reps = if fault.slug() == "apache-edn-01" { 3 } else { 1 };
+    // Resource-leak faults manifest under sustained load (§5.1 "high
+    // load"): their trigger must be repeated past the leak threshold. The
+    // corpus knows how often from the condition kind.
     let mut workload = vec![benign.clone(), benign.clone()];
-    for _ in 0..trigger_reps {
+    for _ in 0..fault.trigger_reps() {
         workload.push(trigger.clone());
     }
     workload.push(benign);
     workload
+}
+
+/// The harness's standard environment budgets, shared by every experiment.
+fn standard_env(seed: u64, metrics: bool) -> Environment {
+    Environment::builder()
+        .seed(seed)
+        .fd_limit(16)
+        .proc_slots(8)
+        .fs_capacity(256 * 1024)
+        .max_file_size(64 * 1024)
+        .metrics(metrics)
+        .build()
+}
+
+fn run_experiment_in(
+    fault: &CuratedFault,
+    strategy: StrategyKind,
+    env: &mut Environment,
+) -> FaultOutcome {
+    let mut app = spawn_app(fault.app(), env);
+    app.inject(fault.slug(), env).expect("every corpus fault is injectable into its application");
+    let benign = app.benign_request();
+    let trigger =
+        app.trigger_request(fault.slug()).expect("every corpus fault has a triggering request");
+    let workload = workload_for(fault, benign, trigger);
+    let mut strat = strategy.build();
+    let run = run_workload(app.as_mut(), env, &workload, strat.as_mut());
+    FaultOutcome {
+        slug: fault.slug().to_owned(),
+        class: fault.class(),
+        strategy,
+        survived: run.survived,
+        failures: run.failures,
+        recoveries: run.recoveries,
+    }
 }
 
 /// Runs one fault under one strategy with the given environment seed.
@@ -124,30 +160,50 @@ pub fn run_fault_experiment(
     strategy: StrategyKind,
     seed: u64,
 ) -> FaultOutcome {
-    let mut env = Environment::builder()
-        .seed(seed)
-        .fd_limit(16)
-        .proc_slots(8)
-        .fs_capacity(256 * 1024)
-        .max_file_size(64 * 1024)
-        .build();
-    let mut app = spawn_app(fault.app(), &mut env);
-    app.inject(fault.slug(), &mut env)
-        .expect("every corpus fault is injectable into its application");
-    let benign = app.benign_request();
-    let trigger =
-        app.trigger_request(fault.slug()).expect("every corpus fault has a triggering request");
-    let workload = workload_for(fault, benign, trigger);
-    let mut strat = strategy.build();
-    let run = run_workload(app.as_mut(), &mut env, &workload, strat.as_mut());
-    FaultOutcome {
-        slug: fault.slug().to_owned(),
-        class: fault.class(),
-        strategy,
-        survived: run.survived,
-        failures: run.failures,
-        recoveries: run.recoveries,
+    let mut env = standard_env(seed, false);
+    run_experiment_in(fault, strategy, &mut env)
+}
+
+/// Like [`run_fault_experiment`], but with the environment's metrics sink
+/// enabled; returns the registry alongside the outcome.
+///
+/// The registry carries the supervisor's per-strategy time-to-recovery and
+/// retry histograms, plus the TTR distribution re-keyed under this
+/// experiment's matrix cell, `recovery.ttr.class{<class>/<strategy>}`.
+/// Survival counters (`experiment.*{<strategy>}`) are added by the
+/// aggregating callers — the campaign and the matrix — which see the whole
+/// sample population. Metrics are pure observation, so the outcome is
+/// byte-identical to the uninstrumented run's.
+pub fn run_fault_experiment_instrumented(
+    fault: &CuratedFault,
+    strategy: StrategyKind,
+    seed: u64,
+) -> (FaultOutcome, MetricsRegistry) {
+    let mut env = standard_env(seed, true);
+    let outcome = run_experiment_in(fault, strategy, &mut env);
+    let mut reg = env.metrics.take().expect("metrics were enabled");
+    if let Some(ttr) = reg.histogram("recovery.ttr", strategy.name()).cloned() {
+        reg.merge_histogram("recovery.ttr.class", cell_label(fault.class(), strategy), ttr);
     }
+    (outcome, reg)
+}
+
+/// The `<class>/<strategy>` label of a matrix cell, interned once so the
+/// per-sample instrumented path never formats a label.
+fn cell_label(class: FaultClass, strategy: StrategyKind) -> &'static str {
+    use std::sync::OnceLock;
+    static CELLS: OnceLock<Vec<String>> = OnceLock::new();
+    let cells = CELLS.get_or_init(|| {
+        FaultClass::ALL
+            .iter()
+            .flat_map(|c| {
+                StrategyKind::ALL.iter().map(move |s| format!("{}/{}", c.short(), s.name()))
+            })
+            .collect()
+    });
+    let ci = FaultClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+    let si = StrategyKind::ALL.iter().position(|&s| s == strategy).expect("strategy in ALL");
+    cells[ci * StrategyKind::ALL.len() + si].as_str()
 }
 
 /// Runs several co-resident faults of the *same application* under one
@@ -172,13 +228,7 @@ pub fn run_multi_fault_experiment(
         faults.iter().all(|f| f.app() == first.app()),
         "multi-fault experiments are per-application"
     );
-    let mut env = Environment::builder()
-        .seed(seed)
-        .fd_limit(16)
-        .proc_slots(8)
-        .fs_capacity(256 * 1024)
-        .max_file_size(64 * 1024)
-        .build();
+    let mut env = standard_env(seed, false);
     let mut app = spawn_app(first.app(), &mut env);
     for fault in faults {
         app.inject(fault.slug(), &mut env).expect("injectable");
@@ -248,6 +298,21 @@ mod tests {
         let rejuv = run_fault_experiment(&leak, StrategyKind::Rejuvenation, 7);
         assert!(rejuv.survived);
         assert_eq!(rejuv.failures, 0, "proactive rejuvenation avoided the crash");
+    }
+
+    #[test]
+    fn instrumented_experiment_matches_plain_and_carries_metrics() {
+        let fault = find("apache-edt-04").unwrap();
+        let plain = run_fault_experiment(&fault, StrategyKind::Restart, 7);
+        let (outcome, reg) = run_fault_experiment_instrumented(&fault, StrategyKind::Restart, 7);
+        assert_eq!(outcome, plain, "instrumentation must not perturb the experiment");
+        let ttr = reg.histogram("recovery.ttr", "restart").expect("recovery happened");
+        assert!(ttr.max().unwrap() > 0);
+        assert_eq!(
+            reg.histogram("recovery.ttr.class", "transient/restart").map(|h| h.count()),
+            Some(ttr.count()),
+            "class re-key carries the same distribution"
+        );
     }
 
     #[test]

@@ -38,8 +38,10 @@ pub mod matrix;
 pub mod workload;
 
 pub use campaign::{CampaignReport, CampaignSpec};
-pub use experiment::{run_fault_experiment, FaultOutcome, StrategyKind};
+pub use experiment::{
+    run_fault_experiment, run_fault_experiment_instrumented, FaultOutcome, StrategyKind,
+};
 pub use expreport::experiments_markdown;
 pub use faultstudy_exec::ParallelSpec;
-pub use funnel::{paper_scale_funnels, paper_scale_funnels_with};
+pub use funnel::{paper_scale_funnels, paper_scale_funnels_instrumented, paper_scale_funnels_with};
 pub use matrix::RecoveryMatrix;

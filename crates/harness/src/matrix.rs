@@ -7,12 +7,17 @@
 //! generic retry-based recovery. Running every corpus fault under every
 //! strategy turns that prediction into measurement.
 
-use crate::experiment::{run_fault_experiment, FaultOutcome, StrategyKind};
+use crate::experiment::{
+    run_fault_experiment, run_fault_experiment_instrumented, FaultOutcome, StrategyKind,
+};
 use faultstudy_core::taxonomy::FaultClass;
 use faultstudy_corpus::full_corpus;
+use faultstudy_obs::MetricsRegistry;
+use faultstudy_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Survival counts for one (class, strategy) cell.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,12 +66,52 @@ impl RecoveryMatrix {
 
     /// Runs the whole corpus under the given strategies only.
     pub fn run_strategies(seed: u64, strategies: &[StrategyKind]) -> RecoveryMatrix {
+        Self::run_strategies_sampled(seed, strategies, false).0
+    }
+
+    /// Runs the whole corpus under every strategy with per-experiment
+    /// metrics enabled, returning the merged registry alongside the
+    /// (unchanged) matrix.
+    ///
+    /// The registry holds a time-to-recovery histogram per strategy
+    /// (`recovery.ttr{<strategy>}`) and per `(class, strategy)` cell
+    /// (`recovery.ttr.class{<class>/<strategy>}`); render them next to the
+    /// survival columns with [`RecoveryMatrix::render_with_ttr`].
+    pub fn run_instrumented(seed: u64) -> (RecoveryMatrix, MetricsRegistry) {
+        Self::run_strategies_sampled(seed, &StrategyKind::ALL, true)
+    }
+
+    fn run_strategies_sampled(
+        seed: u64,
+        strategies: &[StrategyKind],
+        instrumented: bool,
+    ) -> (RecoveryMatrix, MetricsRegistry) {
         let corpus = full_corpus();
         let mut map: BTreeMap<(FaultClass, StrategyKind), Cell> = BTreeMap::new();
         let mut outcomes = Vec::with_capacity(corpus.len() * strategies.len());
+        let mut registry = MetricsRegistry::new();
         for fault in &corpus {
             for &strategy in strategies {
-                let out = run_fault_experiment(fault, strategy, seed);
+                let out = if instrumented {
+                    let (out, reg) = run_fault_experiment_instrumented(fault, strategy, seed);
+                    if !reg.is_empty() {
+                        registry.merge_from(&reg);
+                    }
+                    registry.incr("experiment.total", strategy.name(), 1);
+                    if out.survived {
+                        registry.incr("experiment.survived", strategy.name(), 1);
+                    }
+                    if out.recoveries > 0 {
+                        registry.incr(
+                            "recovery.actions",
+                            strategy.name(),
+                            u64::from(out.recoveries),
+                        );
+                    }
+                    out
+                } else {
+                    run_fault_experiment(fault, strategy, seed)
+                };
                 let cell = map.entry((out.class, strategy)).or_default();
                 cell.total += 1;
                 cell.survived += u32::from(out.survived);
@@ -77,7 +122,7 @@ impl RecoveryMatrix {
             .into_iter()
             .map(|((class, strategy), cell)| MatrixCell { class, strategy, cell })
             .collect();
-        RecoveryMatrix { seed, cells, outcomes }
+        (RecoveryMatrix { seed, cells, outcomes }, registry)
     }
 
     /// The seed the matrix was computed with.
@@ -125,6 +170,47 @@ impl RecoveryMatrix {
             .map(|o| o.slug.as_str())
             .collect()
     }
+
+    /// Renders the matrix with a time-to-recovery column per strategy,
+    /// taken from the `recovery.ttr{<strategy>}` histograms of a registry
+    /// produced by [`RecoveryMatrix::run_instrumented`]. Strategies that
+    /// never recovered anything show `-`.
+    pub fn render_with_ttr(&self, registry: &MetricsRegistry) -> String {
+        let mut out = self.to_string();
+        let _ = writeln!(out, "time to recovery (simulated, over recovered requests):");
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>10} {:>10} {:>10}",
+            "strategy", "n", "p50", "p90", "max"
+        );
+        for strategy in StrategyKind::ALL {
+            match registry.histogram("recovery.ttr", strategy.name()) {
+                Some(h) if h.count() > 0 => {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>6} {:>10} {:>10} {:>10}",
+                        strategy.name(),
+                        h.count(),
+                        Duration::from_nanos(h.p50().expect("nonempty")).to_string(),
+                        Duration::from_nanos(h.p90().expect("nonempty")).to_string(),
+                        Duration::from_nanos(h.max().expect("nonempty")).to_string(),
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>6} {:>10} {:>10} {:>10}",
+                        strategy.name(),
+                        0,
+                        "-",
+                        "-",
+                        "-"
+                    );
+                }
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Display for RecoveryMatrix {
@@ -136,12 +222,7 @@ impl fmt::Display for RecoveryMatrix {
         )?;
         write!(f, "{:<22}", "strategy")?;
         for class in FaultClass::ALL {
-            let short = match class {
-                FaultClass::EnvironmentIndependent => "env-indep",
-                FaultClass::EnvDependentNonTransient => "nontransient",
-                FaultClass::EnvDependentTransient => "transient",
-            };
-            write!(f, " {short:>14}")?;
+            write!(f, " {:>14}", class.short())?;
         }
         writeln!(f, " {:>14}", "overall")?;
         for strategy in StrategyKind::ALL {
@@ -229,6 +310,24 @@ mod tests {
         assert!(text.contains("none"));
         assert!(text.contains("transient"));
         assert!(text.contains("0/113"));
+    }
+
+    #[test]
+    fn instrumented_matrix_matches_plain_and_renders_ttr() {
+        let plain = RecoveryMatrix::run(2000);
+        let (m, registry) = RecoveryMatrix::run_instrumented(2000);
+        assert_eq!(m, plain, "metrics must not perturb the matrix");
+        // Retry strategies recovered transient faults, so their TTR columns
+        // are populated; the baseline never recovers anything.
+        assert!(registry.histogram("recovery.ttr", "restart").unwrap().count() > 0);
+        assert!(registry.histogram("recovery.ttr", "none").is_none());
+        let text = m.render_with_ttr(&registry);
+        assert!(text.contains("time to recovery"));
+        assert!(text.contains("restart"), "{text}");
+        let none_row = text.lines().filter(|l| l.starts_with("none")).nth(1).unwrap_or_else(|| {
+            text.lines().find(|l| l.starts_with("none") && l.contains('-')).expect("none TTR row")
+        });
+        assert!(none_row.contains('-'), "baseline shows empty TTR: {none_row}");
     }
 
     #[test]

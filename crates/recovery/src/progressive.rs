@@ -52,7 +52,7 @@ impl ProgressiveRetry {
 
 impl RecoveryStrategy for ProgressiveRetry {
     fn name(&self) -> &'static str {
-        "progressive-retry"
+        "progressive"
     }
 
     fn is_generic(&self) -> bool {

@@ -4,6 +4,7 @@
 use crate::strategy::RecoveryStrategy;
 use faultstudy_apps::{Application, Request};
 use faultstudy_env::Environment;
+use faultstudy_obs::Span;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of supervising one workload.
@@ -21,7 +22,9 @@ pub struct WorkloadRun {
     /// paper's survival criterion: every requested task must execute — "we
     /// do not assume a user will generously avoid the fault trigger" (§7).
     pub survived: bool,
-    /// Reason of the final failure when not survived.
+    /// Reason of the final failure when not survived; always `None` on a
+    /// surviving run, even if transient failures were recovered along the
+    /// way.
     pub last_failure: Option<String>,
 }
 
@@ -65,17 +68,27 @@ pub fn run_workload(
     'workload: for original in workload {
         let mut req = original.clone();
         let mut attempt = 0u32;
+        // Opened (in simulated time) at a request's first failure; closed
+        // when the request finally succeeds. The span covers every retry,
+        // so its length is the user-visible time-to-recovery.
+        let mut ttr: Option<Span> = None;
         loop {
             match app.handle(&req, env) {
                 Ok(_) => {
                     strategy.on_success(&req, app, env);
                     run.completed += 1;
+                    if let Some(span) = ttr {
+                        let now = env.now();
+                        env.metrics.record_span("recovery.ttr", strategy.name(), span, now);
+                        env.metrics.record("recovery.retries", strategy.name(), u64::from(attempt));
+                    }
                     break;
                 }
                 Err(failure) => {
                     run.failures += 1;
                     run.last_failure = Some(failure.to_string());
                     attempt += 1;
+                    ttr.get_or_insert_with(|| Span::begin(env.now()));
                     if !strategy.on_failure(app, env, attempt) {
                         run.survived = false;
                         break 'workload;
@@ -87,6 +100,11 @@ pub fn run_workload(
                 }
             }
         }
+    }
+    if run.survived {
+        // Recovered transients are not "the final failure": a surviving
+        // run's contract is that every request was eventually served.
+        run.last_failure = None;
     }
     run
 }
@@ -134,8 +152,9 @@ mod tests {
         app.inject("apache-edt-02", &mut env).unwrap();
         let workload = vec![app.trigger_request("apache-edt-02").unwrap()];
         let run = run_workload(&mut app, &mut env, &workload, &mut RestartRetry::new(3));
-        assert!(run.survived, "{:?}", run.last_failure);
+        assert!(run.survived);
         assert_eq!(run.recoveries, 1, "one restart cleared the hung children");
+        assert!(run.last_failure.is_none(), "surviving runs report no final failure");
     }
 
     #[test]
@@ -160,8 +179,41 @@ mod tests {
         ];
         workload[0].timing_event = false;
         let run = run_workload(&mut app, &mut env, &workload, &mut ProgressiveRetry::new(5));
-        assert!(run.survived, "{:?}", run.last_failure);
+        assert!(run.survived);
         assert_eq!(run.completed, 3);
+        assert!(run.last_failure.is_none(), "surviving runs report no final failure");
+    }
+
+    #[test]
+    fn instrumented_run_records_ttr_and_retries() {
+        let mut env = Environment::builder().seed(7).proc_slots(6).metrics(true).build();
+        let mut app = MiniWeb::new(&mut env);
+        app.inject("apache-edt-02", &mut env).unwrap();
+        let workload = vec![app.trigger_request("apache-edt-02").unwrap()];
+        let run = run_workload(&mut app, &mut env, &workload, &mut RestartRetry::new(3));
+        assert!(run.survived);
+        let reg = env.metrics.take().unwrap();
+        let ttr = reg.histogram("recovery.ttr", "restart").expect("ttr recorded");
+        assert_eq!(ttr.count(), 1);
+        assert!(ttr.max().unwrap() > 0, "recovery consumed simulated time");
+        let retries = reg.histogram("recovery.retries", "restart").unwrap();
+        assert_eq!(retries.max(), Some(1));
+    }
+
+    #[test]
+    fn uninstrumented_run_is_identical_to_instrumented() {
+        let run_with = |metrics: bool| {
+            let mut env = Environment::builder().seed(7).proc_slots(6).metrics(metrics).build();
+            let mut app = MiniWeb::new(&mut env);
+            app.inject("apache-edt-07", &mut env).unwrap();
+            let workload = vec![
+                Request::new("GET /a"),
+                app.trigger_request("apache-edt-07").unwrap(),
+                Request::new("GET /b"),
+            ];
+            (run_workload(&mut app, &mut env, &workload, &mut ProgressiveRetry::new(5)), env.now())
+        };
+        assert_eq!(run_with(false), run_with(true), "recording must not perturb the simulation");
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_obs.json (observability overhead: instrumented vs
+# plain campaign, after asserting byte-identity and thread invariance).
+# Run from the repo root:
+#
+#   sh scripts/bench_obs.sh
+#
+# or via make: `make bench-obs`. CI smoke-tests a 1-repetition run with
+# BENCH_OBS_REPS=1 BENCH_OBS_SAMPLES=60 and a scratch output path.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_obs -- BENCH_obs.json

@@ -17,6 +17,7 @@
 //! - [`apps`] — simulated applications with injectable faults.
 //! - [`recovery`] — generic (and comparison app-specific) recovery strategies.
 //! - [`harness`] — the experiment runner and per-class survival matrix.
+//! - [`obs`] — deterministic metrics: simulated-time histograms and spans.
 //! - [`report`] — table/figure rendering and the Lee–Iyer reconciliation.
 //!
 //! # Quickstart
@@ -39,6 +40,7 @@ pub use faultstudy_env as env;
 pub use faultstudy_exec as exec;
 pub use faultstudy_harness as harness;
 pub use faultstudy_mining as mining;
+pub use faultstudy_obs as obs;
 pub use faultstudy_recovery as recovery;
 pub use faultstudy_report as report;
 pub use faultstudy_sim as sim;
