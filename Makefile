@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test bench-parallel bench-textscan bench-obs verify fmt lint
+.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject verify fmt lint
 
 build:
 	cargo build --release
@@ -19,6 +19,10 @@ bench-textscan:
 # Writes BENCH_obs.json: metrics-layer overhead on an instrumented campaign.
 bench-obs:
 	sh scripts/bench_obs.sh
+
+# Writes BENCH_inject.json: injection-campaign determinism + supervisor overhead.
+bench-inject:
+	sh scripts/bench_inject.sh
 
 verify:
 	cargo run --release -p faultstudy-harness --bin faultstudy -- verify

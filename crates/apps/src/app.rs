@@ -184,6 +184,22 @@ pub trait Application {
     /// [`InjectError`] if the slug does not belong to this application.
     fn inject(&mut self, slug: &str, env: &mut Environment) -> Result<(), InjectError>;
 
+    /// Arms the corpus defect `slug` in this application *without* touching
+    /// the environment. Where [`Application::inject`] also establishes the
+    /// fault's environmental precondition (fills the disk, exhausts
+    /// descriptors), `arm_defect` enables only the code defect — the
+    /// environmental half is left to an external fault-injection plan that
+    /// perturbs the environment on its own schedule. The default refuses
+    /// every slug; applications that support plan-driven injection override
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] if the slug does not belong to this application.
+    fn arm_defect(&mut self, slug: &str) -> Result<(), InjectError> {
+        Err(InjectError { slug: slug.to_owned() })
+    }
+
     /// The request that triggers fault `slug` (the How-To-Repeat field), or
     /// `None` for unknown slugs.
     fn trigger_request(&self, slug: &str) -> Option<Request>;

@@ -434,6 +434,17 @@ impl Application for MiniWeb {
         Ok(())
     }
 
+    fn arm_defect(&mut self, slug: &str) -> Result<(), InjectError> {
+        // Arm only defects the server actually knows — anything with a
+        // trigger request. Unlike `inject`, the environment is untouched:
+        // the injection plan owns the environmental half of the fault.
+        if self.trigger_request(slug).is_none() {
+            return Err(InjectError { slug: slug.to_owned() });
+        }
+        self.state.enabled_bugs.insert(slug.to_owned());
+        Ok(())
+    }
+
     fn trigger_request(&self, slug: &str) -> Option<Request> {
         let req = match slug {
             "apache-ei-01" => Request::new(format!("GET /{}", "a".repeat(2000))),
@@ -736,6 +747,20 @@ mod tests {
         web.inject("apache-ei-32", &mut env).unwrap();
         assert!(web.handle(&long, &mut env).is_err());
         assert!(web.handle(&short, &mut env).unwrap().is_ok(), "short realms still fine");
+    }
+
+    #[test]
+    fn arm_defect_enables_the_bug_without_touching_the_environment() {
+        let (mut env, mut web) = setup();
+        web.arm_defect("apache-edn-02").unwrap();
+        // No inject-time descriptor exhaustion: the trigger still succeeds
+        // until something else (an injection plan) drains the table.
+        let req = web.trigger_request("apache-edn-02").unwrap();
+        assert!(web.handle(&req, &mut env).unwrap().is_ok(), "environment untouched");
+        let hog = env.register_owner("hog");
+        env.fds.exhaust_as(hog);
+        assert!(web.handle(&req, &mut env).is_err(), "armed defect fires once env degrades");
+        assert!(web.arm_defect("mysql-ei-01").is_err(), "foreign slug rejected");
     }
 
     #[test]

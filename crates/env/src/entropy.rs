@@ -135,6 +135,19 @@ impl EntropyPool {
         self.settle(now);
         self.bits = 0;
     }
+
+    /// Scrubs the pool back to capacity at `now` — an operator feeding the
+    /// kernel fresh events (moving the mouse, restarting an entropy
+    /// daemon). This is the explicit reset hook for environment scrubbing:
+    /// it is *not* something a generic recovery may do on its own, which is
+    /// why the supervisor gates it behind an explicit policy. Returns the
+    /// bits added.
+    pub fn scrub(&mut self, now: SimTime) -> u64 {
+        self.settle(now);
+        let added = self.capacity_bits - self.bits;
+        self.bits = self.capacity_bits;
+        added
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +243,27 @@ mod tests {
         assert_eq!(p.available_at(SimTime::from_secs(3600)), 100);
         p.drain(SimTime::from_secs(3600));
         assert_eq!(p.available_at(SimTime::from_secs(3601)), 10, "refill restarts from the drain");
+    }
+
+    #[test]
+    fn scrub_refills_to_capacity_and_reports_bits_added() {
+        let mut p = EntropyPool::new(100, 10, SimTime::ZERO);
+        p.drain(SimTime::ZERO);
+        // 2 seconds of refill leave 20 bits; the scrub supplies the other 80.
+        assert_eq!(p.scrub(SimTime::from_secs(2)), 80);
+        assert_eq!(p.available_at(SimTime::from_secs(2)), 100);
+        // Scrubbing a full pool is a no-op.
+        assert_eq!(p.scrub(SimTime::from_secs(2)), 0);
+    }
+
+    #[test]
+    fn scrub_restarts_refill_accounting() {
+        let mut p = EntropyPool::new(100, 10, SimTime::ZERO);
+        p.drain(SimTime::ZERO);
+        p.scrub(SimTime::from_secs(1));
+        p.drain(SimTime::from_secs(1));
+        // No credit for pre-scrub time: refill restarts from the scrub.
+        assert_eq!(p.available_at(SimTime::from_secs(2)), 10);
     }
 
     #[test]

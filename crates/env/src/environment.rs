@@ -153,6 +153,40 @@ impl Environment {
         killed
     }
 
+    /// Scrubs the environment: clears the non-transient resource conditions
+    /// an *operator* (not a generic recovery) could clear by hand — deletes
+    /// external ballast files, closes every descriptor in the kernel table,
+    /// refills the entropy pool, and reboots the opaque network resource
+    /// pool. Returns the number of scrub actions that actually changed
+    /// something.
+    ///
+    /// Deliberately untouched: DNS server health, hostname, and hardware
+    /// inventory (external infrastructure no local scrub can fix), and all
+    /// application files (a scrub has no licence to delete application
+    /// data). The paper's distinction survives the scrub: conditions that
+    /// need this hook are exactly the environment-dependent-*nontransient*
+    /// ones, which is why the supervisor exposes it as an explicit,
+    /// policy-gated step rather than folding it into every recovery (§6).
+    pub fn scrub(&mut self) -> u32 {
+        let now = self.now();
+        let mut actions = 0;
+        if self.fs.scrub_ballast() > 0 {
+            actions += 1;
+        }
+        if self.fds.scrub() > 0 {
+            actions += 1;
+        }
+        if self.entropy.scrub(now) > 0 {
+            actions += 1;
+        }
+        if self.net.resource_exhausted() {
+            self.net.reboot_resources();
+            actions += 1;
+        }
+        self.trace.record(now, "env.scrub", format!("environment scrub: {actions} actions"));
+        actions
+    }
+
     /// Whether the given environmental condition currently holds, probing
     /// live subsystem state.
     ///
@@ -441,6 +475,49 @@ mod tests {
         assert!(!e.holds(ConditionKind::CorruptFileMetadata));
         e.fs.set_owner("f", u32::MAX).unwrap();
         assert!(e.holds(ConditionKind::CorruptFileMetadata));
+    }
+
+    #[test]
+    fn scrub_clears_nontransient_resource_conditions() {
+        let mut e = env();
+        let ext = e.register_owner("hog");
+        e.fds.exhaust_as(ext);
+        e.fs.fill_with_ballast();
+        e.entropy.drain(e.now());
+        assert!(e.holds(ConditionKind::FdExhaustion));
+        assert!(e.holds(ConditionKind::FileSystemFull));
+        assert!(e.holds(ConditionKind::EntropyExhausted));
+
+        let actions = e.scrub();
+        assert_eq!(actions, 3);
+        assert!(!e.holds(ConditionKind::FdExhaustion));
+        assert!(!e.holds(ConditionKind::FileSystemFull));
+        assert!(!e.holds(ConditionKind::EntropyExhausted));
+        // A clean environment needs no scrubbing.
+        assert_eq!(e.scrub(), 0);
+    }
+
+    #[test]
+    fn scrub_leaves_external_infrastructure_and_app_data() {
+        let mut e = env();
+        e.fs.write("app/data", 500).unwrap();
+        e.dns.set_health(DnsHealth::Erroring, SimTime::from_secs(100));
+        e.host.set_hostname("renamed");
+        e.scrub();
+        assert_eq!(e.fs.used(), 500, "application data untouched");
+        assert!(e.holds(ConditionKind::DnsError), "DNS is not locally scrubbable");
+        assert!(e.holds(ConditionKind::HostnameChanged));
+    }
+
+    #[test]
+    fn scrub_does_not_advance_time_or_drift_interleaving() {
+        let mut e = env();
+        let before = format!("{:?}", e.current_interleaving());
+        let t = e.now();
+        e.fs.fill_with_ballast();
+        e.scrub();
+        assert_eq!(e.now(), t);
+        assert_eq!(before, format!("{:?}", e.current_interleaving()));
     }
 
     #[test]

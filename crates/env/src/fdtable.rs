@@ -137,6 +137,18 @@ impl FdTable {
         }
         n
     }
+
+    /// Closes every open descriptor regardless of owner; returns how many
+    /// were closed. This is the explicit environment-scrubbing hook: an
+    /// operator killing the competing descriptor hogs, something no generic
+    /// recovery of the *application* can do on its own (§6 — restarting the
+    /// app does not return descriptors held by other programs). Descriptor
+    /// ids are still never reused afterwards.
+    pub fn scrub(&mut self) -> u32 {
+        let n = self.open.len() as u32;
+        self.open.clear();
+        n
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +211,23 @@ mod tests {
         assert_eq!(grabbed, 4);
         assert!(t.is_exhausted());
         assert!(t.open(APP).is_err(), "app starved by competitor");
+    }
+
+    #[test]
+    fn scrub_closes_everything_without_reusing_ids() {
+        let mut t = FdTable::new(3);
+        let before = t.open(APP).unwrap();
+        t.open(OTHER).unwrap();
+        t.exhaust_as(OTHER);
+        assert!(t.is_exhausted());
+        assert_eq!(t.scrub(), 3);
+        assert_eq!(t.in_use(), 0);
+        assert_eq!(t.held_by(OTHER), 0);
+        let after = t.open(APP).unwrap();
+        assert!(after.0 > before.0, "scrub must not recycle descriptor ids");
+        // Scrubbing an empty table is a no-op.
+        t.close(after).unwrap();
+        assert_eq!(t.scrub(), 0);
     }
 
     #[test]

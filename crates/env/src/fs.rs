@@ -242,6 +242,16 @@ impl VirtualFs {
         self.files.iter().map(|(p, m)| (p.as_str(), m))
     }
 
+    /// Removes every external ballast file written by
+    /// [`VirtualFs::fill_with_ballast`], returning the number of files
+    /// reclaimed. The environment-scrubbing hook for disk-full conditions:
+    /// an operator deleting the *other* program's files — application data
+    /// (logs, caches, databases) is deliberately untouched, because a
+    /// generic recovery has no licence to delete it either.
+    pub fn scrub_ballast(&mut self) -> usize {
+        self.remove_prefix("!ballast/")
+    }
+
     /// Fills the filesystem to capacity with an external ballast file,
     /// modelling another program consuming the disk.
     pub fn fill_with_ballast(&mut self) {
@@ -354,6 +364,18 @@ mod tests {
         assert_eq!(f.free(), 0);
         // 900 bytes of ballast in 300-byte chunks = 3 files.
         assert_eq!(f.iter().filter(|(p, _)| p.starts_with("!ballast/")).count(), 3);
+    }
+
+    #[test]
+    fn scrub_ballast_reclaims_only_ballast() {
+        let mut f = VirtualFs::new(1000, 300);
+        f.write("logs/access", 100).unwrap();
+        f.fill_with_ballast();
+        assert!(f.is_full());
+        assert_eq!(f.scrub_ballast(), 3);
+        assert_eq!(f.used(), 100, "application files survive the scrub");
+        assert!(f.stat("logs/access").is_some());
+        assert_eq!(f.scrub_ballast(), 0, "second scrub finds nothing");
     }
 
     #[test]

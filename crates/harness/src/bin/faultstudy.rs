@@ -10,18 +10,23 @@
 //!   mine       the §4 selection funnels at paper scale
 //!   recover    the end-to-end recovery matrix (§5.4/§8 future work)
 //!   campaign   randomized (fault, strategy, seed) sampling in distribution
+//!   inject     plan-driven environment injection x strategy x scrub
 //!   metrics    deterministic observability: TTR histograms + stage timings
 //!   verify     CI self-check: exits non-zero if a guarantee fails
 //!   lee-iyer   the §7 reconciliation with \[Lee93\]
 //!   experiments the paper-vs-measured report (EXPERIMENTS.md)
 //!   all        the report commands (tables through lee-iyer), in order
 //! ```
+//!
+//! Every command exits zero on success and non-zero with a message on
+//! stderr when it cannot produce its output or a checked guarantee fails.
 
 use faultstudy_core::taxonomy::AppKind;
 use faultstudy_core::timeline::{by_month, by_release};
 use faultstudy_corpus::paper_study;
 use faultstudy_harness::{
-    paper_scale_funnels_with, CampaignReport, CampaignSpec, ParallelSpec, RecoveryMatrix,
+    paper_scale_funnels_with, CampaignReport, CampaignSpec, InjectReport, InjectSpec, ParallelSpec,
+    RecoveryMatrix,
 };
 use faultstudy_report::{
     render_discussion, render_release_figure, render_table, render_time_figure,
@@ -37,10 +42,25 @@ struct Options {
     parallel: ParallelSpec,
 }
 
+/// Serializes `value` to pretty JSON on stdout; on failure, reports on
+/// stderr instead of panicking. Returns whether the output was produced.
+fn print_json<T: serde::Serialize>(what: &str, value: &T) -> bool {
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            println!("{text}");
+            true
+        }
+        Err(err) => {
+            eprintln!("faultstudy: cannot serialize {what}: {err}");
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--json]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options { seed: 2000, json: false, parallel: ParallelSpec::AUTO };
@@ -68,34 +88,46 @@ fn main() -> ExitCode {
             }
         }
     }
-    match command.as_str() {
+    let ok = match command.as_str() {
         "tables" => tables(&opts),
         "figures" => figures(&opts),
         "summary" => summary(&opts),
         "mine" => mine(&opts),
         "recover" => recover(&opts),
         "lee-iyer" => lee_iyer(&opts),
-        "experiments" => print!("{}", faultstudy_harness::experiments_markdown(opts.seed)),
+        "experiments" => {
+            print!("{}", faultstudy_harness::experiments_markdown(opts.seed));
+            true
+        }
         "campaign" => campaign(&opts),
+        "inject" => inject(&opts),
         "metrics" => metrics(&opts),
-        "verify" => return verify(&opts),
+        "verify" => verify(&opts),
         "all" => {
-            tables(&opts);
-            figures(&opts);
-            summary(&opts);
-            mine(&opts);
-            recover(&opts);
-            lee_iyer(&opts);
+            // Run every report even if one fails, then report the worst.
+            let results = [
+                tables(&opts),
+                figures(&opts),
+                summary(&opts),
+                mine(&opts),
+                recover(&opts),
+                lee_iyer(&opts),
+            ];
+            results.iter().all(|&ok| ok)
         }
         other => {
             eprintln!("unknown command: {other}");
-            return ExitCode::FAILURE;
+            false
         }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    ExitCode::SUCCESS
 }
 
-fn tables(opts: &Options) {
+fn tables(opts: &Options) -> bool {
     let study = paper_study();
     if opts.json {
         let per_app: Vec<_> = AppKind::ALL
@@ -108,15 +140,15 @@ fn tables(opts: &Options) {
                 })
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&per_app).expect("tables serialize"));
-        return;
+        return print_json("tables", &per_app);
     }
     for app in AppKind::ALL {
         println!("{}", render_table(&study, app));
     }
+    true
 }
 
-fn figures(opts: &Options) {
+fn figures(opts: &Options) -> bool {
     let study = paper_study();
     if opts.json {
         let value = serde_json::json!({
@@ -124,47 +156,47 @@ fn figures(opts: &Options) {
             "figure2": by_month(&study, AppKind::Gnome),
             "figure3": by_release(&study, AppKind::Mysql),
         });
-        println!("{}", serde_json::to_string_pretty(&value).expect("figures serialize"));
-        return;
+        return print_json("figures", &value);
     }
     println!("{}", render_release_figure(&by_release(&study, AppKind::Apache)));
     println!("{}", render_time_figure(&by_month(&study, AppKind::Gnome)));
     println!("{}", render_release_figure(&by_release(&study, AppKind::Mysql)));
+    true
 }
 
-fn summary(opts: &Options) {
+fn summary(opts: &Options) -> bool {
     let discussion = paper_study().discussion();
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&discussion).expect("summary serializes"));
-        return;
+        return print_json("summary", &discussion);
     }
     println!("{}", render_discussion(&discussion));
+    true
 }
 
-fn mine(opts: &Options) {
+fn mine(opts: &Options) -> bool {
     let runs = paper_scale_funnels_with(opts.seed, opts.parallel);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&runs).expect("funnels serialize"));
-        return;
+        return print_json("funnels", &runs);
     }
     for run in runs {
         println!("{}", run.outcome);
         println!("  {}", run.quality);
     }
+    true
 }
 
-fn recover(opts: &Options) {
+fn recover(opts: &Options) -> bool {
     let matrix = RecoveryMatrix::run(opts.seed);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&matrix).expect("matrix serializes"));
-        return;
+        return print_json("matrix", &matrix);
     }
     println!("{matrix}");
+    true
 }
 
 /// CI-style self-check: re-runs the headline experiments and exits
 /// non-zero if any of the paper's guarantees fails to reproduce.
-fn verify(opts: &Options) -> ExitCode {
+fn verify(opts: &Options) -> bool {
     use faultstudy_core::taxonomy::FaultClass;
     use faultstudy_harness::StrategyKind;
     let mut problems: Vec<String> = Vec::new();
@@ -195,6 +227,19 @@ fn verify(opts: &Options) -> ExitCode {
     if !report.anomalies.is_empty() {
         problems.push(format!("campaign anomalies: {:?}", report.anomalies));
     }
+    let injection = InjectReport::run_with(InjectSpec { seed: opts.seed }, opts.parallel);
+    if !injection.anomalies.is_empty() {
+        problems.push(format!("injection anomalies: {:?}", injection.anomalies));
+    }
+    if injection.watchdog_fires() == 0 || injection.breaker_trips() == 0 || injection.scrubs() == 0
+    {
+        problems.push(format!(
+            "injection hardening idle: {} watchdog fires, {} breaker trips, {} scrubs",
+            injection.watchdog_fires(),
+            injection.breaker_trips(),
+            injection.scrubs()
+        ));
+    }
     for run in paper_scale_funnels_with(opts.seed, opts.parallel) {
         let expected = match run.outcome.app {
             AppKind::Apache => 50,
@@ -211,20 +256,21 @@ fn verify(opts: &Options) -> ExitCode {
     }
     if problems.is_empty() {
         println!("verify: all guarantees reproduced at seed {}", opts.seed);
-        ExitCode::SUCCESS
+        true
     } else {
         for p in &problems {
             eprintln!("verify: FAILED: {p}");
         }
-        ExitCode::FAILURE
+        false
     }
 }
 
 /// The observability surface: time-to-recovery distributions per strategy
-/// from an instrumented matrix run, plus the mining pipeline's per-stage
-/// timings, all measured in simulated time and byte-identical for every
-/// seed and thread count.
-fn metrics(opts: &Options) {
+/// from an instrumented matrix run, the supervisor's hardening counters
+/// from an instrumented injection campaign, plus the mining pipeline's
+/// per-stage timings, all measured in simulated time and byte-identical
+/// for every seed and thread count.
+fn metrics(opts: &Options) -> bool {
     use faultstudy_harness::paper_scale_funnels_instrumented;
     use faultstudy_harness::StrategyKind;
     use faultstudy_sim::time::Duration;
@@ -232,6 +278,9 @@ fn metrics(opts: &Options) {
     let (matrix, mut registry) = RecoveryMatrix::run_instrumented(opts.seed);
     let (_, mining) = paper_scale_funnels_instrumented(opts.seed, opts.parallel);
     registry.merge_from(&mining);
+    let (_, injection) =
+        InjectReport::run_instrumented(InjectSpec { seed: opts.seed }, opts.parallel);
+    registry.merge_from(&injection);
 
     if opts.json {
         let mut ttr: Vec<(String, serde_json::Value)> = Vec::new();
@@ -247,6 +296,17 @@ fn metrics(opts: &Options) {
                     }),
                 ));
             }
+        }
+        let mut supervisor: Vec<(String, serde_json::Value)> = Vec::new();
+        for strategy in StrategyKind::ALL {
+            supervisor.push((
+                strategy.name().to_owned(),
+                serde_json::json!({
+                    "watchdog_fires": registry.counter("supervisor.watchdog", strategy.name()),
+                    "breaker_trips": registry.counter("supervisor.breaker.trips", strategy.name()),
+                    "scrubs": registry.counter("supervisor.scrubs", strategy.name()),
+                }),
+            ));
         }
         let mut stages: Vec<(String, serde_json::Value)> = Vec::new();
         for (key, reports) in registry.counters() {
@@ -264,14 +324,26 @@ fn metrics(opts: &Options) {
         let value = serde_json::json!({
             "seed": opts.seed,
             "time_to_recovery": serde_json::Value::Map(ttr),
+            "supervisor": serde_json::Value::Map(supervisor),
             "mining_stages": serde_json::Value::Map(stages),
             "registry": registry,
         });
-        println!("{}", serde_json::to_string_pretty(&value).expect("metrics serialize"));
-        return;
+        return print_json("metrics", &value);
     }
 
     print!("{}", matrix.render_with_ttr(&registry));
+    println!("supervisor hardening (injection campaign at seed {}):", opts.seed);
+    println!("{:<16} {:>10} {:>10} {:>8}", "strategy", "watchdog", "breaker", "scrubs");
+    for strategy in StrategyKind::ALL {
+        println!(
+            "{:<16} {:>10} {:>10} {:>8}",
+            strategy.name(),
+            registry.counter("supervisor.watchdog", strategy.name()),
+            registry.counter("supervisor.breaker.trips", strategy.name()),
+            registry.counter("supervisor.scrubs", strategy.name()),
+        );
+    }
+    println!();
     println!("mining stage timings (simulated cost model):");
     println!("{:<32} {:>10} {:>12} {:>14}", "app/stage", "reports", "time", "reports/s");
     let stages: Vec<String> = registry
@@ -292,23 +364,36 @@ fn metrics(opts: &Options) {
             rps
         );
     }
+    true
 }
 
-fn campaign(opts: &Options) {
+fn campaign(opts: &Options) -> bool {
     let report =
         CampaignReport::run_with(CampaignSpec { samples: 500, seed: opts.seed }, opts.parallel);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("campaign serializes"));
-        return;
+        return print_json("campaign", &report);
     }
     println!("{report}");
+    true
 }
 
-fn lee_iyer(opts: &Options) {
+/// The injection campaign: every standard plan x strategy x scrub setting
+/// under the hardened supervisor. Exits non-zero if the class contract is
+/// violated, so the command doubles as a CI smoke check.
+fn inject(opts: &Options) -> bool {
+    let report = InjectReport::run_with(InjectSpec { seed: opts.seed }, opts.parallel);
+    if opts.json {
+        return print_json("injection report", &report);
+    }
+    print!("{report}");
+    report.anomalies.is_empty()
+}
+
+fn lee_iyer(opts: &Options) -> bool {
     let r = TandemReconciliation::default();
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&r).expect("reconciliation serializes"));
-        return;
+        return print_json("reconciliation", &r);
     }
     println!("{r}");
+    true
 }

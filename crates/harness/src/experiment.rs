@@ -116,7 +116,7 @@ fn workload_for(fault: &CuratedFault, benign: Request, trigger: Request) -> Vec<
 }
 
 /// The harness's standard environment budgets, shared by every experiment.
-fn standard_env(seed: u64, metrics: bool) -> Environment {
+pub(crate) fn standard_env(seed: u64, metrics: bool) -> Environment {
     Environment::builder()
         .seed(seed)
         .fd_limit(16)

@@ -34,6 +34,7 @@ pub mod campaign;
 pub mod experiment;
 pub mod expreport;
 pub mod funnel;
+pub mod inject;
 pub mod matrix;
 pub mod workload;
 
@@ -44,4 +45,5 @@ pub use experiment::{
 pub use expreport::experiments_markdown;
 pub use faultstudy_exec::ParallelSpec;
 pub use funnel::{paper_scale_funnels, paper_scale_funnels_instrumented, paper_scale_funnels_with};
+pub use inject::{InjectCell, InjectReport, InjectSpec};
 pub use matrix::RecoveryMatrix;

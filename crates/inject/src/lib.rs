@@ -1,0 +1,41 @@
+//! Plan-driven, fully deterministic environment fault injection.
+//!
+//! The paper's survival numbers rest on a claim about *classes*: generic
+//! recovery survives a fault exactly when the triggering environment
+//! condition goes away underneath the retry (§3, §6). The curated corpus
+//! exercises that claim only through each bug report's scripted failure
+//! mode. This crate tests it the other way around — perturb the simulated
+//! environment *directly*, on a schedule, independent of any bug report,
+//! and check that each recovery strategy's outcome still matches the
+//! class of the injected condition (the microreboot line of work makes
+//! the same argument: recovery machinery is only trustworthy under
+//! deliberate, repeatable fault injection).
+//!
+//! Two pieces:
+//!
+//! - [`plan`] — [`InjectionPlan`]: a named list of scheduled
+//!   [`InjectionKind`] perturbations (fd leak ramps, disk-full windows,
+//!   DNS outages and latency spikes, packet-loss bursts, entropy
+//!   starvation, scheduler jitter), each tagged with the paper class the
+//!   injected condition belongs to, plus the companion application defect
+//!   that turns the condition into a high-impact failure.
+//!   [`standard_plans`] builds the standard suite as a pure function of a
+//!   seed via `sim::rng` split seeds.
+//! - [`injector`] — [`Injector`]: replays a plan against the environment
+//!   through the hardened supervisor's
+//!   [`EnvHook`](faultstudy_recovery::EnvHook), applying each event
+//!   exactly once as simulated time reaches it.
+//!
+//! Determinism: plans are pure functions of their seed; the injector holds
+//! no randomness at all; every event application is a pure function of
+//! `(event, environment)`. A campaign over these plans is therefore
+//! byte-identical at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod injector;
+pub mod plan;
+
+pub use injector::Injector;
+pub use plan::{standard_plans, InjectionEvent, InjectionKind, InjectionPlan};

@@ -25,7 +25,11 @@
 //! - [`rejuvenation`] — proactive software rejuvenation \[Huang95\].
 //! - [`app_specific`] — the application-specific comparator.
 //! - [`supervisor`] — drives a workload against an application under a
-//!   strategy and reports survival.
+//!   strategy and reports survival; the hardened variant adds watchdog
+//!   deadlines, bounded backoff, a circuit breaker, and policy-gated
+//!   environment scrubbing.
+//! - [`backoff`] — deterministic capped exponential backoff with jitter.
+//! - [`breaker`] — the per-strategy circuit breaker.
 //! - [`thread_pair`] — a real-thread process-pair demonstration on
 //!   crossbeam channels.
 
@@ -33,6 +37,8 @@
 #![warn(missing_docs)]
 
 pub mod app_specific;
+pub mod backoff;
+pub mod breaker;
 pub mod pair;
 pub mod progressive;
 pub mod rejuvenation;
@@ -43,10 +49,14 @@ pub mod supervisor;
 pub mod thread_pair;
 
 pub use app_specific::AppSpecific;
+pub use backoff::BackoffPolicy;
+pub use breaker::CircuitBreaker;
 pub use pair::ProcessPair;
 pub use progressive::ProgressiveRetry;
 pub use rejuvenation::Rejuvenation;
 pub use restart::RestartRetry;
 pub use rollback::RollbackRecovery;
 pub use strategy::{NoRecovery, RecoveryStrategy};
-pub use supervisor::{run_workload, WorkloadRun};
+pub use supervisor::{
+    run_workload, run_workload_supervised, EnvHook, SupervisedRun, SupervisorConfig, WorkloadRun,
+};

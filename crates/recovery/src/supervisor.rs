@@ -1,10 +1,30 @@
 //! The supervisor: drives a workload against an application under a
 //! recovery strategy and reports whether the work survived.
+//!
+//! Two entry points share one loop:
+//!
+//! - [`run_workload`] — the paper's bare survival experiment: retry until
+//!   the strategy gives up, no supervisor policy of its own.
+//! - [`run_workload_supervised`] — the hardened harness around the same
+//!   loop: a watchdog deadline that detects hung attempts in simulated
+//!   time, bounded exponential backoff between retries, a circuit breaker
+//!   that trips to graceful degradation instead of burning the whole retry
+//!   budget, and an explicit, policy-gated environment-scrubbing step —
+//!   the only way non-transient conditions may be cleared. An optional
+//!   [`EnvHook`] runs before every attempt, which is how a fault-injection
+//!   plan perturbs the environment on its own schedule.
+//!
+//! With the [`SupervisorConfig::permissive`] configuration the hardened
+//! loop degenerates byte-for-byte into the bare one: every policy is
+//! disabled and the simulation is untouched.
 
+use crate::backoff::BackoffPolicy;
+use crate::breaker::CircuitBreaker;
 use crate::strategy::RecoveryStrategy;
-use faultstudy_apps::{Application, Request};
+use faultstudy_apps::{AppFailure, Application, Request};
 use faultstudy_env::Environment;
 use faultstudy_obs::Span;
+use faultstudy_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of supervising one workload.
@@ -28,7 +48,81 @@ pub struct WorkloadRun {
     pub last_failure: Option<String>,
 }
 
-/// Runs `workload` against `app` under `strategy`.
+/// An environment perturbation source consulted before every attempt.
+///
+/// The supervisor owns *when* the hook runs; the hook owns *what* changes.
+/// A fault-injection plan implements this to apply its scheduled events as
+/// simulated time reaches them, without the supervisor knowing anything
+/// about injection.
+pub trait EnvHook {
+    /// Called immediately before each request attempt, after the attempt's
+    /// service time has been charged to the clock.
+    fn pre_attempt(&mut self, env: &mut Environment);
+}
+
+/// Policy knobs of the hardened supervisor.
+///
+/// Every knob has a neutral setting under which the hardened loop is
+/// byte-identical to [`run_workload`]; [`SupervisorConfig::permissive`]
+/// selects all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Hang-detection deadline. A hung attempt costs this much simulated
+    /// time before the watchdog declares it failed and counts the fire;
+    /// `None` detects hangs for free (the bare loop's behavior).
+    pub watchdog: Option<Duration>,
+    /// Delay schedule between retries.
+    pub backoff: BackoffPolicy,
+    /// Circuit-breaker threshold in consecutive recovered failures;
+    /// 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// Scrub the environment after every Nth consecutive failed attempt of
+    /// a request; 0 never scrubs. Scrubbing is the *only* way the
+    /// supervisor clears non-transient conditions, which is why it is a
+    /// config gate and not a default (§6: such repairs are operator
+    /// actions, outside any generic mechanism).
+    pub scrub_every: u32,
+    /// Simulated service time charged before every attempt. The bare loop
+    /// charges nothing; an injection campaign needs requests to consume
+    /// time so scheduled events can come due between them.
+    pub request_takes: Duration,
+}
+
+impl SupervisorConfig {
+    /// The configuration under which [`run_workload_supervised`] reproduces
+    /// [`run_workload`] exactly: no watchdog cost, no backoff, breaker
+    /// disabled, never scrubs, requests are instantaneous.
+    pub fn permissive() -> SupervisorConfig {
+        SupervisorConfig {
+            watchdog: None,
+            backoff: BackoffPolicy::none(),
+            breaker_threshold: 0,
+            scrub_every: 0,
+            request_takes: Duration::ZERO,
+        }
+    }
+}
+
+/// Outcome of one hardened supervision: the plain [`WorkloadRun`] plus the
+/// supervisor's own event counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisedRun {
+    /// The underlying workload outcome.
+    pub run: WorkloadRun,
+    /// Hung attempts detected by the watchdog deadline.
+    pub watchdog_fires: u32,
+    /// Circuit-breaker trips (at most one per run: a trip degrades).
+    pub breaker_trips: u32,
+    /// Environment scrubs performed between retries.
+    pub scrubs: u32,
+    /// Requests shed unattempted after the breaker degraded the run.
+    pub shed: usize,
+    /// Total simulated time spent in backoff delays.
+    pub backoff_total: Duration,
+}
+
+/// Runs `workload` against `app` under `strategy` with the bare,
+/// policy-free loop.
 ///
 /// Each request is attempted until it succeeds or the strategy gives up.
 /// Retries clear the request's one-shot [`Request::timing_event`]: the
@@ -56,16 +150,42 @@ pub fn run_workload(
     workload: &[Request],
     strategy: &mut dyn RecoveryStrategy,
 ) -> WorkloadRun {
+    run_workload_supervised(app, env, workload, strategy, &SupervisorConfig::permissive(), None).run
+}
+
+/// Runs `workload` under `strategy` with the hardened supervisor policies
+/// of `config`, consulting `hook` before every attempt.
+///
+/// Watchdog fires, breaker trips, scrubs, and backoff delays are recorded
+/// through the environment's metrics sink (as `supervisor.*` keys labelled
+/// by strategy), all in simulated time, so instrumentation never perturbs
+/// the run.
+pub fn run_workload_supervised(
+    app: &mut dyn Application,
+    env: &mut Environment,
+    workload: &[Request],
+    strategy: &mut dyn RecoveryStrategy,
+    config: &SupervisorConfig,
+    mut hook: Option<&mut dyn EnvHook>,
+) -> SupervisedRun {
     strategy.on_start(app, env);
-    let mut run = WorkloadRun {
-        completed: 0,
-        total: workload.len(),
-        failures: 0,
-        recoveries: 0,
-        survived: true,
-        last_failure: None,
+    let mut out = SupervisedRun {
+        run: WorkloadRun {
+            completed: 0,
+            total: workload.len(),
+            failures: 0,
+            recoveries: 0,
+            survived: true,
+            last_failure: None,
+        },
+        watchdog_fires: 0,
+        breaker_trips: 0,
+        scrubs: 0,
+        shed: 0,
+        backoff_total: Duration::ZERO,
     };
-    'workload: for original in workload {
+    let mut breaker = CircuitBreaker::new(config.breaker_threshold);
+    'workload: for (index, original) in workload.iter().enumerate() {
         let mut req = original.clone();
         let mut attempt = 0u32;
         // Opened (in simulated time) at a request's first failure; closed
@@ -73,10 +193,15 @@ pub fn run_workload(
         // so its length is the user-visible time-to-recovery.
         let mut ttr: Option<Span> = None;
         loop {
+            env.advance(config.request_takes);
+            if let Some(h) = hook.as_deref_mut() {
+                h.pre_attempt(env);
+            }
             match app.handle(&req, env) {
                 Ok(_) => {
                     strategy.on_success(&req, app, env);
-                    run.completed += 1;
+                    breaker.record_success();
+                    out.run.completed += 1;
                     if let Some(span) = ttr {
                         let now = env.now();
                         env.metrics.record_span("recovery.ttr", strategy.name(), span, now);
@@ -85,15 +210,48 @@ pub fn run_workload(
                     break;
                 }
                 Err(failure) => {
-                    run.failures += 1;
-                    run.last_failure = Some(failure.to_string());
+                    out.run.failures += 1;
+                    out.run.last_failure = Some(failure.to_string());
                     attempt += 1;
                     ttr.get_or_insert_with(|| Span::begin(env.now()));
+                    // A hang is not observable as a return value in the
+                    // real world: the watchdog's deadline is what converts
+                    // it into a detected failure, and the detection costs
+                    // the full deadline in simulated time.
+                    if matches!(failure, AppFailure::Hang(_)) {
+                        if let Some(deadline) = config.watchdog {
+                            env.advance(deadline);
+                            out.watchdog_fires += 1;
+                            env.metrics.incr("supervisor.watchdog", strategy.name(), 1);
+                        }
+                    }
                     if !strategy.on_failure(app, env, attempt) {
-                        run.survived = false;
+                        out.run.survived = false;
                         break 'workload;
                     }
-                    run.recoveries += 1;
+                    out.run.recoveries += 1;
+                    if breaker.record_failure() {
+                        // Graceful degradation: the last checkpoint stands,
+                        // the remaining workload is shed, and the run is
+                        // honestly reported as not survived (§7's criterion
+                        // — shed work was requested and never executed).
+                        out.breaker_trips += 1;
+                        env.metrics.incr("supervisor.breaker.trips", strategy.name(), 1);
+                        out.run.survived = false;
+                        out.shed = workload.len() - index - 1;
+                        break 'workload;
+                    }
+                    if config.scrub_every > 0 && attempt.is_multiple_of(config.scrub_every) {
+                        env.scrub();
+                        out.scrubs += 1;
+                        env.metrics.incr("supervisor.scrubs", strategy.name(), 1);
+                    }
+                    let delay = config.backoff.delay(attempt);
+                    if delay > Duration::ZERO {
+                        env.advance(delay);
+                        out.backoff_total = out.backoff_total + delay;
+                        env.metrics.record_duration("supervisor.backoff", strategy.name(), delay);
+                    }
                     // The retry replays the request without its one-shot
                     // environmental timing event.
                     req.timing_event = false;
@@ -101,12 +259,12 @@ pub fn run_workload(
             }
         }
     }
-    if run.survived {
+    if out.run.survived {
         // Recovered transients are not "the final failure": a surviving
         // run's contract is that every request was eventually served.
-        run.last_failure = None;
+        out.run.last_failure = None;
     }
-    run
+    out
 }
 
 #[cfg(test)]
@@ -119,6 +277,16 @@ mod tests {
         let mut env = Environment::builder().seed(7).proc_slots(6).build();
         let app = MiniWeb::new(&mut env);
         (env, app)
+    }
+
+    fn hardened() -> SupervisorConfig {
+        SupervisorConfig {
+            watchdog: Some(Duration::from_secs(4)),
+            backoff: BackoffPolicy::new(Duration::from_millis(50), Duration::from_secs(2), 3),
+            breaker_threshold: 4,
+            scrub_every: 0,
+            request_takes: Duration::from_millis(100),
+        }
     }
 
     #[test]
@@ -222,5 +390,149 @@ mod tests {
         let run = run_workload(&mut app, &mut env, &[], &mut NoRecovery);
         assert!(run.survived);
         assert_eq!(run.total, 0);
+    }
+
+    // --- hardened supervisor ---
+
+    #[test]
+    fn permissive_supervision_reproduces_the_bare_loop_exactly() {
+        let scenario = |supervised: bool| {
+            let mut env = Environment::builder().seed(7).proc_slots(6).build();
+            let mut app = MiniWeb::new(&mut env);
+            app.inject("apache-edt-07", &mut env).unwrap();
+            let workload = vec![
+                Request::new("GET /a"),
+                app.trigger_request("apache-edt-07").unwrap(),
+                Request::new("GET /b"),
+            ];
+            let mut strategy = RestartRetry::new(3);
+            let run = if supervised {
+                run_workload_supervised(
+                    &mut app,
+                    &mut env,
+                    &workload,
+                    &mut strategy,
+                    &SupervisorConfig::permissive(),
+                    None,
+                )
+                .run
+            } else {
+                run_workload(&mut app, &mut env, &workload, &mut strategy)
+            };
+            (run, env.now())
+        };
+        assert_eq!(scenario(true), scenario(false));
+    }
+
+    #[test]
+    fn watchdog_detects_hangs_and_charges_the_deadline() {
+        let (mut env, mut app) = setup();
+        app.inject("apache-edt-05", &mut env).unwrap(); // slow DNS: hangs
+        let workload = vec![app.trigger_request("apache-edt-05").unwrap()];
+        let out = run_workload_supervised(
+            &mut app,
+            &mut env,
+            &workload,
+            &mut RestartRetry::new(3),
+            &hardened(),
+            None,
+        );
+        assert!(out.run.survived, "DNS healed while the watchdog waited");
+        assert!(out.watchdog_fires >= 1);
+        assert!(env.now() >= faultstudy_sim::time::SimTime::from_secs(4), "deadline was charged");
+    }
+
+    #[test]
+    fn breaker_trips_and_sheds_the_remaining_workload() {
+        let (mut env, mut app) = setup();
+        app.inject("apache-ei-01", &mut env).unwrap();
+        let mut workload = vec![app.trigger_request("apache-ei-01").unwrap()];
+        workload.push(Request::new("GET /never-reached"));
+        workload.push(Request::new("GET /never-reached-either"));
+        let mut config = hardened();
+        config.breaker_threshold = 2;
+        let out = run_workload_supervised(
+            &mut app,
+            &mut env,
+            &workload,
+            &mut ProgressiveRetry::new(5),
+            &config,
+            None,
+        );
+        assert!(!out.run.survived);
+        assert_eq!(out.breaker_trips, 1);
+        assert_eq!(out.run.recoveries, 2, "degraded before burning the budget of 5");
+        assert_eq!(out.shed, 2, "remaining requests shed, not attempted");
+        assert_eq!(out.run.completed, 0);
+    }
+
+    #[test]
+    fn scrubbing_clears_nontransient_conditions_between_retries() {
+        let run_with = |scrub_every: u32| {
+            let (mut env, mut app) = setup();
+            app.inject("apache-edn-02", &mut env).unwrap(); // fd exhaustion
+            let workload = vec![app.trigger_request("apache-edn-02").unwrap()];
+            let mut config = hardened();
+            config.scrub_every = scrub_every;
+            run_workload_supervised(
+                &mut app,
+                &mut env,
+                &workload,
+                &mut RestartRetry::new(3),
+                &config,
+                None,
+            )
+        };
+        let without = run_with(0);
+        assert!(!without.run.survived, "fd exhaustion defeats generic recovery");
+        assert_eq!(without.scrubs, 0);
+        let with = run_with(1);
+        assert!(with.run.survived, "the scrub closed the leaked descriptors");
+        assert!(with.scrubs >= 1);
+    }
+
+    #[test]
+    fn backoff_advances_simulated_time_deterministically() {
+        let once = || {
+            let (mut env, mut app) = setup();
+            app.inject("apache-ei-01", &mut env).unwrap();
+            let workload = vec![app.trigger_request("apache-ei-01").unwrap()];
+            let out = run_workload_supervised(
+                &mut app,
+                &mut env,
+                &workload,
+                &mut RestartRetry::new(3),
+                &hardened(),
+                None,
+            );
+            (out, env.now())
+        };
+        let (a, now_a) = once();
+        let (b, now_b) = once();
+        assert_eq!(a, b);
+        assert_eq!(now_a, now_b);
+        assert!(a.backoff_total > Duration::ZERO);
+    }
+
+    #[test]
+    fn supervisor_events_are_recorded_through_metrics() {
+        let mut env = Environment::builder().seed(7).proc_slots(6).metrics(true).build();
+        let mut app = MiniWeb::new(&mut env);
+        app.inject("apache-edn-02", &mut env).unwrap();
+        let workload = vec![app.trigger_request("apache-edn-02").unwrap()];
+        let mut config = hardened();
+        config.scrub_every = 1;
+        let out = run_workload_supervised(
+            &mut app,
+            &mut env,
+            &workload,
+            &mut RestartRetry::new(3),
+            &config,
+            None,
+        );
+        assert!(out.run.survived);
+        let reg = env.metrics.take().unwrap();
+        assert_eq!(reg.counter("supervisor.scrubs", "restart"), u64::from(out.scrubs));
+        assert!(reg.histogram("supervisor.backoff", "restart").is_some());
     }
 }

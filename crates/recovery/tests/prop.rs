@@ -5,9 +5,10 @@ use faultstudy_core::taxonomy::AppKind;
 use faultstudy_env::Environment;
 use faultstudy_recovery::thread_pair::{run_pair, Op};
 use faultstudy_recovery::{
-    run_workload, NoRecovery, ProcessPair, ProgressiveRetry, RecoveryStrategy, RestartRetry,
-    RollbackRecovery,
+    run_workload, BackoffPolicy, NoRecovery, ProcessPair, ProgressiveRetry, RecoveryStrategy,
+    RestartRetry, RollbackRecovery,
 };
+use faultstudy_sim::time::Duration;
 use proptest::prelude::*;
 
 fn app_strategy() -> impl Strategy<Value = AppKind> {
@@ -130,5 +131,54 @@ proptest! {
         ops.insert(pos, Op::PoisonFault);
         let outcome = run_pair(&ops);
         prop_assert_eq!(outcome.result, None);
+    }
+
+    /// The backoff schedule is monotone non-decreasing in the attempt
+    /// number and never exceeds its cap, for any base/cap/seed.
+    #[test]
+    fn backoff_is_monotone_and_bounded_by_cap(
+        base_ms in 0u64..5_000,
+        cap_ms in 0u64..600_000,
+        seed in any::<u64>()
+    ) {
+        let p = BackoffPolicy::new(
+            Duration::from_millis(base_ms),
+            Duration::from_millis(cap_ms),
+            seed,
+        );
+        let mut prev = Duration::ZERO;
+        for attempt in 1..=80u32 {
+            let d = p.delay(attempt);
+            prop_assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+            prop_assert!(d <= Duration::from_millis(cap_ms), "attempt {attempt} over cap");
+            prev = d;
+        }
+    }
+
+    /// Equal seeds give byte-identical schedules; the delay is a pure
+    /// function of `(policy, attempt)` with no hidden state, so the
+    /// schedule cannot depend on which thread or in what order attempts
+    /// are evaluated.
+    #[test]
+    fn backoff_is_deterministic_and_order_independent(
+        base_ms in 1u64..5_000,
+        cap_ms in 1u64..600_000,
+        seed in any::<u64>(),
+        order in prop::collection::vec(1u32..40, 1..20)
+    ) {
+        let make = || BackoffPolicy::new(
+            Duration::from_millis(base_ms),
+            Duration::from_millis(cap_ms),
+            seed,
+        );
+        let (a, b) = (make(), make());
+        let forward: Vec<Duration> = (1..=40).map(|n| a.delay(n)).collect();
+        // Query b in an arbitrary (possibly repeating) order first.
+        for &n in &order {
+            b.delay(n);
+        }
+        for attempt in 1..=40u32 {
+            prop_assert_eq!(b.delay(attempt), forward[attempt as usize - 1]);
+        }
     }
 }

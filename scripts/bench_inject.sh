@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_inject.json (injection-campaign determinism at 1/2/8
+# threads + supervisor overhead with injection disabled, after asserting
+# byte-identity and that inert hardening reproduces the bare loop).
+# Run from the repo root:
+#
+#   sh scripts/bench_inject.sh
+#
+# or via make: `make bench-inject`. CI smoke-tests a 1-repetition run with
+# BENCH_INJECT_REPS=1 BENCH_INJECT_ROUNDS=2 and a scratch output path.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_inject -- BENCH_inject.json

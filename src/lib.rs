@@ -15,7 +15,9 @@
 //! - [`corpus`] — the curated 139-fault corpus and synthetic generators.
 //! - [`mining`] — bug-archive models and the selection pipeline of §4.
 //! - [`apps`] — simulated applications with injectable faults.
-//! - [`recovery`] — generic (and comparison app-specific) recovery strategies.
+//! - [`recovery`] — generic (and comparison app-specific) recovery strategies
+//!   plus the hardened supervisor (watchdog, backoff, breaker, scrubbing).
+//! - [`inject`] — plan-driven deterministic environment fault injection.
 //! - [`harness`] — the experiment runner and per-class survival matrix.
 //! - [`obs`] — deterministic metrics: simulated-time histograms and spans.
 //! - [`report`] — table/figure rendering and the Lee–Iyer reconciliation.
@@ -39,6 +41,7 @@ pub use faultstudy_corpus as corpus;
 pub use faultstudy_env as env;
 pub use faultstudy_exec as exec;
 pub use faultstudy_harness as harness;
+pub use faultstudy_inject as inject;
 pub use faultstudy_mining as mining;
 pub use faultstudy_obs as obs;
 pub use faultstudy_recovery as recovery;
