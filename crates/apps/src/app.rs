@@ -103,20 +103,19 @@ impl std::error::Error for AppFailure {}
 /// A *truly generic* recovery system "must preserve all application state
 /// (e.g. by checkpointing or logging), because there is no application-
 /// specific code to reconstruct missing state" (§2) — so the checkpoint is
-/// a byte-for-byte snapshot the recovery layer cannot interpret, only
-/// restore.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AppState(String);
+/// a serialized value tree the recovery layer cannot interpret, only
+/// restore. The tree is held in serialization form (`serde::Content`)
+/// rather than rendered text: checkpoint strategies snapshot after *every*
+/// served request, so the encode/decode pair is the hottest allocation
+/// site in a campaign, and rendering JSON just to re-parse it on restore
+/// would double the cost for nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppState(serde::Content);
 
 impl AppState {
     /// Serializes a state value.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the state fails to serialize, which for the in-crate state
-    /// types cannot happen.
     pub fn encode<T: Serialize>(state: &T) -> AppState {
-        AppState(serde_json::to_string(state).expect("app state serializes"))
+        AppState(state.to_content())
     }
 
     /// Deserializes back into a concrete state type.
@@ -127,13 +126,13 @@ impl AppState {
     /// checkpoint into the wrong application is a harness bug, not a
     /// recoverable condition.
     pub fn decode<T: for<'de> Deserialize<'de>>(&self) -> T {
-        serde_json::from_str(&self.0).expect("checkpoint decodes into its own state type")
+        T::from_content(&self.0).expect("checkpoint decodes into its own state type")
     }
 
     /// Size of the serialized checkpoint in bytes (used by the recovery
-    /// overhead benchmarks).
+    /// overhead benchmarks). Rendered on demand; campaigns never call this.
     pub fn size_bytes(&self) -> usize {
-        self.0.len()
+        serde_json::to_string(&self.0).expect("checkpoint renders").len()
     }
 }
 

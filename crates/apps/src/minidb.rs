@@ -27,21 +27,135 @@ const PAREN_DEPTH_LIMIT: u32 = 64;
 /// Maximum columns per table (mysql-ei-24's buggy path checks too late).
 const COLUMN_LIMIT: usize = 2048;
 
-/// Maximum parenthesis nesting depth of a statement.
-fn paren_depth(sql: &str) -> u32 {
-    let mut depth = 0u32;
-    let mut max = 0u32;
-    for c in sql.chars() {
-        match c {
-            '(' => {
-                depth += 1;
-                max = max.max(depth);
+/// Exact count of `needle` in `hay`, eight bytes per step.
+///
+/// Per chunk: XOR with the splatted needle turns matches into zero bytes;
+/// `(x & 0x7f..) + 0x7f..` sets each byte's high bit iff its low seven
+/// bits are non-zero, so `!(y | x) & 0x80..` flags exactly the zero
+/// bytes — the carry-free zero-byte mask (no cross-byte borrows, unlike
+/// the subtraction variant).
+fn count_byte(hay: &[u8], needle: u8) -> usize {
+    const LO7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let splat = u64::from(needle).wrapping_mul(0x0101_0101_0101_0101);
+    let mut count = 0usize;
+    let mut chunks = hay.chunks_exact(8);
+    for chunk in &mut chunks {
+        let x = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes")) ^ splat;
+        let y = (x & LO7).wrapping_add(LO7);
+        count += (!(y | x) & HI).count_ones() as usize;
+    }
+    count + chunks.remainder().iter().filter(|&&b| b == needle).count()
+}
+
+/// Counts the comma-separated items of `list` that are non-empty after
+/// trimming — `list.split(',').map(str::trim).filter(|c| !c.is_empty())
+/// .count()` without walking the segments.
+///
+/// A segment is provably non-empty when the byte just before its closing
+/// delimiter (or the end of the string) is significant — neither
+/// whitespace nor a comma. When that holds at every comma of an all-ASCII
+/// list the answer is simply `commas + 1`. The proof runs eight bytes per
+/// step: per-byte high-bit masks flag commas and ASCII whitespace, and a
+/// comma whose predecessor byte (mask shifted up one lane, with a carry
+/// across chunks) is a boundary voids it. Any doubt — non-ASCII bytes
+/// (multi-byte whitespace), a possibly-empty segment, a non-significant
+/// final byte — falls back to the exact segment walk. Large column lists
+/// are the hot case and always prove out: `c0, c1, ..., cN` has a digit
+/// before every comma.
+fn count_list_items(list: &str) -> usize {
+    const LO7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    let slow = || list.split(',').map(str::trim).filter(|c| !c.is_empty()).count();
+    let bytes = list.as_bytes();
+    match bytes.last() {
+        None => return 0,
+        // ASCII whitespace per char::is_whitespace: HT LF VT FF CR, space.
+        Some(&last) if matches!(last, 0x09..=0x0D | 0x20 | b',') || last >= 0x80 => {
+            return slow();
+        }
+        Some(_) => {}
+    }
+    // Per-byte equality mask: XOR makes matches zero bytes, and
+    // `!(((x & LO7) + LO7) | x) & HI` is the carry-free zero-byte flag.
+    let eq = |v: u64, needle: u8| -> u64 {
+        let x = v ^ u64::from(needle).wrapping_mul(ONES);
+        let y = (x & LO7).wrapping_add(LO7);
+        !(y | x) & HI
+    };
+    // Per-byte `b >= n` mask; sound only for ASCII bytes (no borrow can
+    // leave its lane once every high bit is pre-set).
+    let ge = |v: u64, n: u8| -> u64 { (v | HI).wrapping_sub(u64::from(n).wrapping_mul(ONES)) & HI };
+
+    let mut commas = 0usize;
+    let mut violation = 0u64;
+    let mut non_ascii = 0u64;
+    // The start of the string acts as a delimiter: a leading comma means
+    // an empty first segment.
+    let mut carry = 0x80u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let v = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        non_ascii |= v & HI;
+        let comma = eq(v, b',');
+        let ws = (ge(v, 0x09) & !ge(v, 0x0E)) | eq(v, 0x20);
+        let boundary = comma | ws;
+        violation |= comma & ((boundary << 8) | carry);
+        carry = boundary >> 56;
+        commas += comma.count_ones() as usize;
+    }
+    if non_ascii != 0 {
+        return slow();
+    }
+    let mut prev_is_boundary = carry != 0;
+    for &b in chunks.remainder() {
+        if b >= 0x80 {
+            return slow();
+        }
+        if b == b',' {
+            if prev_is_boundary {
+                return slow();
             }
-            ')' => depth = depth.saturating_sub(1),
+            commas += 1;
+        }
+        prev_is_boundary = matches!(b, 0x09..=0x0D | 0x20 | b',');
+    }
+    if violation != 0 {
+        return slow();
+    }
+    commas + 1
+}
+
+/// Maximum parenthesis nesting depth of a statement.
+fn exceeds_paren_depth(sql: &str, limit: u32) -> bool {
+    // A statement shorter than the limit cannot nest past it — every open
+    // paren is a byte — so ordinary statements skip both scans below.
+    if sql.len() as u64 <= u64::from(limit) {
+        return false;
+    }
+    // The open-paren count bounds the nesting depth from above and is a
+    // constant-stride scan, unlike the sequential depth walk below; long
+    // statements with few parens (e.g. mysql-ei-24's 3000-column CREATE)
+    // skip the walk entirely.
+    let opens = count_byte(sql.as_bytes(), b'(');
+    if opens as u64 <= u64::from(limit) {
+        return false;
+    }
+    let mut depth = 0u32;
+    for b in sql.bytes() {
+        match b {
+            b'(' => {
+                depth += 1;
+                if depth > limit {
+                    return true;
+                }
+            }
+            b')' => depth = depth.saturating_sub(1),
             _ => {}
         }
     }
-    max
+    false
 }
 
 /// One table: named integer columns, rows, and at most one indexed column.
@@ -115,29 +229,30 @@ impl MiniDb {
         let Some((name, cols)) = rest.split_once('(') else {
             return Ok(Response::Denied("syntax error in CREATE TABLE".into()));
         };
-        let name = name.trim().to_owned();
-        let columns: Vec<String> = cols
-            .trim_end_matches(')')
-            .split(',')
-            .map(|c| c.trim().to_owned())
-            .filter(|c| !c.is_empty())
-            .collect();
-        if name.is_empty() || columns.is_empty() {
+        let name = name.trim();
+        let col_list = cols.trim_end_matches(')');
+        let column_names = || col_list.split(',').map(str::trim).filter(|c| !c.is_empty());
+        // Count before materializing: a 3000-column definition (mysql-ei-24's
+        // trigger) is rejected — or crashes the buggy build — without
+        // allocating a string per column first.
+        let column_count = count_list_items(col_list);
+        if name.is_empty() || column_count == 0 {
             return Ok(Response::Denied("empty table name or column list".into()));
         }
         // mysql-ei-24: the buggy build writes the definition array before
         // checking the field count.
-        if columns.len() > COLUMN_LIMIT {
+        if column_count > COLUMN_LIMIT {
             if self.bug("mysql-ei-24") {
                 return Err(AppFailure::Crash(
                     "definition array overrun before the field-count check".into(),
                 ));
             }
             return Ok(Response::Denied(format!(
-                "too many columns: {} > {COLUMN_LIMIT}",
-                columns.len()
+                "too many columns: {column_count} > {COLUMN_LIMIT}"
             )));
         }
+        let name = name.to_owned();
+        let columns: Vec<String> = column_names().map(str::to_owned).collect();
         if self.state.tables.contains_key(&name) {
             return Ok(Response::Denied(format!("table {name} exists")));
         }
@@ -390,10 +505,10 @@ impl Application for MiniDb {
     }
 
     fn handle(&mut self, req: &Request, env: &mut Environment) -> Result<Response, AppFailure> {
-        let body = req.body.trim().to_owned();
+        let body = req.body.trim();
         // mysql-ei-18: the recursive-descent expression parser has a fixed
         // stack; the healthy build bounds the depth first.
-        if paren_depth(&body) > PAREN_DEPTH_LIMIT {
+        if exceeds_paren_depth(body, PAREN_DEPTH_LIMIT) {
             if self.bug("mysql-ei-18") {
                 return Err(AppFailure::Crash(
                     "parser stack overrun on deeply nested parentheses".into(),
@@ -443,7 +558,7 @@ impl Application for MiniDb {
             self.state.locked.insert(name);
             return self.ok("locked");
         }
-        match body.as_str() {
+        match body {
             "UNLOCK TABLES" => {
                 self.state.locked.clear();
                 self.ok("unlocked")
@@ -533,8 +648,24 @@ impl Application for MiniDb {
                 ))
             }
             "mysql-ei-24" => {
-                let cols: Vec<String> = (0..=COLUMN_LIMIT).map(|i| format!("c{i}")).collect();
-                Request::new(format!("CREATE TABLE wide ({})", cols.join(", ")))
+                // 3001 columns make this by far the largest trigger; the
+                // text is a pure function of the slug, so build it once.
+                use std::sync::OnceLock;
+                static WIDE: OnceLock<Request> = OnceLock::new();
+                WIDE.get_or_init(|| {
+                    use std::fmt::Write;
+                    let mut sql = String::with_capacity(8 * (COLUMN_LIMIT + 2));
+                    sql.push_str("CREATE TABLE wide (");
+                    for i in 0..=COLUMN_LIMIT {
+                        if i > 0 {
+                            sql.push_str(", ");
+                        }
+                        let _ = write!(sql, "c{i}");
+                    }
+                    sql.push(')');
+                    Request::new(sql)
+                })
+                .clone()
             }
             s if s.starts_with("mysql-ei-") => Request::new(format!("PROBE {s}")),
             "mysql-edn-01" => Request::new("CONNECT"),
@@ -556,6 +687,73 @@ impl Application for MiniDb {
 mod tests {
     use super::*;
     use faultstudy_sim::time::Duration;
+
+    fn reference_count(list: &str) -> usize {
+        list.split(',').map(str::trim).filter(|c| !c.is_empty()).count()
+    }
+
+    #[test]
+    fn list_counting_matches_the_segment_walk() {
+        let cases = [
+            "",
+            "a",
+            "a,b",
+            "a, b, c",
+            ",",
+            ",,",
+            "a,",
+            ",a",
+            " , ",
+            "a, ,b",
+            "a\t,b",
+            "a,\u{a0},b",  // non-ASCII whitespace segment trims to empty
+            "a,\u{a0}x,b", // non-ASCII whitespace inside a real segment
+            "naïve,café",  // non-ASCII non-whitespace
+            "a\u{b},b",    // vertical tab: char-whitespace, not u8-ascii-ws
+            "x, y\r\n, z ",
+            "c0, c1, c2, c3, c4, c5, c6, c7, c8, c9",
+        ];
+        for case in cases {
+            assert_eq!(count_list_items(case), reference_count(case), "{case:?}");
+        }
+        // The hot shape: thousands of short items, digits before commas.
+        let mut wide = String::new();
+        for i in 0..=COLUMN_LIMIT {
+            use std::fmt::Write as _;
+            write!(wide, "c{i}, ").unwrap();
+        }
+        wide.truncate(wide.len() - 2);
+        assert_eq!(count_list_items(&wide), COLUMN_LIMIT + 1);
+    }
+
+    #[test]
+    fn list_counting_matches_on_randomized_inputs() {
+        use faultstudy_sim::rng::{DetRng, Xoshiro256StarStar};
+        let mut rng = Xoshiro256StarStar::seed_from(24);
+        let alphabet = [',', ' ', '\t', '\n', '\u{b}', 'a', '7', '\u{a0}', 'é', '('];
+        for _ in 0..2000 {
+            let len = rng.below(40) as usize;
+            let s: String =
+                (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect();
+            assert_eq!(count_list_items(&s), reference_count(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn byte_counting_matches_the_filter_walk() {
+        use faultstudy_sim::rng::{DetRng, Xoshiro256StarStar};
+        let mut rng = Xoshiro256StarStar::seed_from(7);
+        for _ in 0..500 {
+            let len = rng.below(70) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+            let needle = rng.below(256) as u8;
+            assert_eq!(
+                count_byte(&bytes, needle),
+                bytes.iter().filter(|&&b| b == needle).count(),
+                "{bytes:?} needle {needle}"
+            );
+        }
+    }
 
     fn setup() -> (Environment, MiniDb) {
         let mut env = Environment::builder()

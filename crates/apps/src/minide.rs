@@ -157,7 +157,7 @@ impl Application for MiniDe {
     }
 
     fn handle(&mut self, req: &Request, env: &mut Environment) -> Result<Response, AppFailure> {
-        let body = req.body.clone();
+        let body = req.body.as_str();
         if let Some(slug) = body.strip_prefix("PROBE ") {
             return if self.bug(slug) {
                 Err(AppFailure::Crash(format!("deterministic defect {slug} triggered")))
@@ -166,16 +166,13 @@ impl Application for MiniDe {
             };
         }
         if let Some(widget) = body.strip_prefix("CLICK ") {
-            let widget = widget.to_owned();
-            return self.click(&widget);
+            return self.click(widget);
         }
         if let Some(path) = body.strip_prefix("OPEN ") {
-            let path = path.to_owned();
-            return self.open_icon(&path);
+            return self.open_icon(path);
         }
         if let Some(path) = body.strip_prefix("EDIT-PROPS ") {
-            let path = path.to_owned();
-            return self.edit_properties(&path, env);
+            return self.edit_properties(path, env);
         }
         // gnome-ei-18: gnumeric's recursive-descent formula parser has no
         // depth limit; the healthy build bounds it.
@@ -202,7 +199,7 @@ impl Application for MiniDe {
             }
             return self.ok("formula evaluated");
         }
-        match body.as_str() {
+        match body {
             "OPEN-DISPLAY" => self.open_display(env),
             "PLAY-SOUND" => self.play_sound(env),
             "LAUNCH" => {

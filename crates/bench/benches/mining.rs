@@ -21,7 +21,7 @@ fn bench_funnels(c: &mut Criterion) {
     group.sample_size(10);
     for app in AppKind::ALL {
         let population = SyntheticPopulation::generate(&PopulationSpec::paper_scale(app, 2000));
-        let archive = Archive::new(app, population.reports.clone());
+        let archive = Archive::from_columns(app, population.to_columns());
         let pipeline = SelectionPipeline::for_app(app);
         group.bench_with_input(BenchmarkId::from_parameter(app.name()), &archive, |b, archive| {
             b.iter(|| black_box(pipeline.run(black_box(archive))));

@@ -38,7 +38,7 @@ fn bench_mining_parallel(c: &mut Criterion) {
     group.sample_size(10);
     let population =
         SyntheticPopulation::generate(&PopulationSpec::paper_scale(AppKind::Mysql, 2000));
-    let archive = Archive::new(AppKind::Mysql, population.reports.clone());
+    let archive = Archive::from_columns(AppKind::Mysql, population.to_columns());
     let pipeline = SelectionPipeline::for_app(AppKind::Mysql);
     for threads in thread_counts() {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {

@@ -1,10 +1,25 @@
 //! Writes `BENCH_parallel.json`: campaign samples/sec and mining
-//! reports/sec at 1..N worker threads, so successive PRs can track the
-//! parallel-throughput trajectory.
+//! reports/sec at 1..N worker threads, plus a samples/sec trajectory that
+//! grows run over run, so successive PRs can track parallel throughput.
 //!
 //! ```text
 //! cargo run --release -p faultstudy-bench --bin bench_parallel [OUT_PATH]
 //! ```
+//!
+//! Before any timing the binary asserts two correctness preconditions and
+//! aborts on violation, so a recorded number can never come from a wrong
+//! result:
+//!
+//! 1. **Byte identity**: the streaming campaign fold produces exactly the
+//!    report and metrics registry of the materialized reference, at every
+//!    measured thread count.
+//! 2. **No oversubscription cliff** (checked after timing): running with
+//!    more threads than cores must not collapse below half the 1-thread
+//!    rate — the chunked work queue keeps contention amortized.
+//!
+//! The existing `trajectory` array of the output file is preserved and
+//! this run's 1-thread rate is appended, so the file accumulates history
+//! instead of overwriting it.
 
 use faultstudy_core::taxonomy::AppKind;
 use faultstudy_corpus::{PopulationSpec, SyntheticPopulation};
@@ -13,7 +28,8 @@ use faultstudy_harness::campaign::{CampaignReport, CampaignSpec};
 use faultstudy_mining::{Archive, SelectionPipeline};
 use std::time::Instant;
 
-const CAMPAIGN_SAMPLES: u32 = 500;
+const CAMPAIGN_SAMPLES: u32 = 20_000;
+const IDENTITY_SAMPLES: u32 = 600;
 const CAMPAIGN_SEED: u64 = 2000;
 const REPS: u32 = 3;
 
@@ -35,25 +51,94 @@ fn time_best<F: FnMut()>(mut f: F) -> f64 {
     best
 }
 
+/// Asserts that the streaming fold is byte-identical to the materialized
+/// reference at every thread count about to be timed.
+fn assert_byte_identity(counts: &[usize]) {
+    let spec = CampaignSpec { samples: IDENTITY_SAMPLES, seed: CAMPAIGN_SEED };
+    let (reference, reference_registry) =
+        CampaignReport::run_materialized(spec, ParallelSpec::SEQUENTIAL, true);
+    for &threads in counts {
+        let (streamed, registry) =
+            CampaignReport::run_instrumented(spec, ParallelSpec::threads(threads));
+        assert_eq!(
+            streamed, reference,
+            "streaming fold diverged from the materialized reference at {threads} threads"
+        );
+        assert_eq!(
+            registry, reference_registry,
+            "streaming registry diverged from the materialized reference at {threads} threads"
+        );
+        assert_eq!(
+            streamed.to_string(),
+            reference.to_string(),
+            "rendered report bytes diverged at {threads} threads"
+        );
+    }
+    eprintln!(
+        "byte-identity: streaming == materialized at {counts:?} threads ({IDENTITY_SAMPLES} samples)"
+    );
+}
+
+/// The trajectory array carried over from a previous run of this binary,
+/// or — for files written before the trajectory existed — a single entry
+/// reconstructed from the old 1-thread campaign rate.
+fn prior_trajectory(out_path: &str) -> Vec<serde_json::Value> {
+    let Ok(text) = std::fs::read_to_string(out_path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return Vec::new();
+    };
+    if let Some(serde_json::Value::Seq(entries)) = doc.get("trajectory") {
+        return entries.clone();
+    }
+    // Legacy layout: seed the trajectory with the old 1-thread rate.
+    let legacy = doc
+        .get("campaign")
+        .and_then(|c| {
+            let samples = c.get("samples")?.as_u64()?;
+            let rows = match c.get("per_threads")? {
+                serde_json::Value::Seq(rows) => rows,
+                _ => return None,
+            };
+            rows.iter()
+                .find(|row| row.get("threads").and_then(|t| t.as_u64()) == Some(1))
+                .and_then(|row| row.get("samples_per_sec")?.as_f64())
+                .map(|rate| (samples, rate))
+        })
+        .map(|(samples, rate)| {
+            serde_json::json!({
+                "samples": samples,
+                "samples_per_sec": rate,
+            })
+        });
+    legacy.into_iter().collect()
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_parallel.json".to_owned());
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let counts = thread_counts(host);
     let spec = CampaignSpec { samples: CAMPAIGN_SAMPLES, seed: CAMPAIGN_SEED };
+
+    assert_byte_identity(&counts);
 
     let population =
         SyntheticPopulation::generate(&PopulationSpec::paper_scale(AppKind::Mysql, CAMPAIGN_SEED));
-    let archive = Archive::new(AppKind::Mysql, population.reports.clone());
+    let archive = Archive::from_columns(AppKind::Mysql, population.to_columns());
     let pipeline = SelectionPipeline::for_app(AppKind::Mysql);
 
     let mut campaign_rows = Vec::new();
     let mut mining_rows = Vec::new();
-    for threads in thread_counts(host) {
+    let mut campaign_rates = Vec::new();
+    for &threads in &counts {
         let parallel = ParallelSpec::threads(threads);
         let secs = time_best(|| {
             std::hint::black_box(CampaignReport::run_with(spec, parallel));
         });
         let samples_per_sec = f64::from(CAMPAIGN_SAMPLES) / secs;
         eprintln!("campaign {threads:>2} threads: {samples_per_sec:>10.1} samples/sec");
+        campaign_rates.push((threads, samples_per_sec));
         campaign_rows.push(serde_json::json!({
             "threads": threads,
             "seconds": secs,
@@ -72,6 +157,28 @@ fn main() {
         }));
     }
 
+    // Oversubscription non-regression: with the chunked work queue, extra
+    // threads on a saturated host idle at the queue instead of thrashing,
+    // so no thread count may fall below half the 1-thread rate.
+    let one_thread = campaign_rates
+        .iter()
+        .find(|&&(threads, _)| threads == 1)
+        .map(|&(_, rate)| rate)
+        .expect("1-thread row always measured");
+    for &(threads, rate) in &campaign_rates {
+        assert!(
+            rate >= one_thread * 0.5,
+            "oversubscription regression: {threads} threads ran at {rate:.0} samples/sec, \
+             under half the 1-thread {one_thread:.0}"
+        );
+    }
+
+    let mut trajectory = prior_trajectory(&out_path);
+    trajectory.push(serde_json::json!({
+        "samples": CAMPAIGN_SAMPLES,
+        "samples_per_sec": one_thread,
+    }));
+
     let campaign = serde_json::json!({
         "samples": CAMPAIGN_SAMPLES,
         "seed": CAMPAIGN_SEED,
@@ -87,6 +194,7 @@ fn main() {
         "host_available_parallelism": host,
         "campaign": campaign,
         "mining": mining,
+        "trajectory": serde_json::Value::Seq(trajectory),
     });
     let rendered = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
     std::fs::write(&out_path, rendered + "\n").expect("write BENCH_parallel.json");

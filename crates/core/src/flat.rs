@@ -1,0 +1,478 @@
+//! Flat, cache-friendly storage for bug-report collections.
+//!
+//! A materialized `Vec<BugReport>` scatters every title, body,
+//! how-to-repeat, note, and version string into its own heap allocation;
+//! scanning a paper-scale archive (44,000 MySQL messages) then chases
+//! five pointers per report and touches as many allocator headers.
+//! [`ReportColumns`] stores the same data struct-of-arrays: one
+//! contiguous UTF-8 arena holds every text field back to back in archive
+//! order, each field is a column of [`Span`]s — `(offset, len)` pairs
+//! into the arena — and the fixed-width metadata (severity, production
+//! flag, filing month, …) lives in plain parallel columns. Funnel
+//! predicates that only look at one column (the §4 high-impact and
+//! production-version filters) walk a dense array instead of striding
+//! through whole reports, and the keyword scan reads the arena
+//! sequentially.
+//!
+//! The layout is lossless: [`ReportColumns::materialize`] reconstructs
+//! the exact [`BugReport`] that was pushed.
+
+use crate::report::{BugReport, ReportSource, Status, YearMonth};
+use crate::taxonomy::{AppKind, Severity};
+use serde::{Deserialize, Serialize};
+
+/// A byte range into the shared text arena of a [`ReportColumns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    offset: u32,
+    len: u32,
+}
+
+impl Span {
+    fn slice<'a>(&self, arena: &'a str) -> &'a str {
+        &arena[self.offset as usize..self.offset as usize + self.len as usize]
+    }
+}
+
+/// Struct-of-arrays bug-report storage: a contiguous text arena plus one
+/// column per field.
+///
+/// # Example
+///
+/// ```
+/// use faultstudy_core::flat::ReportColumns;
+/// use faultstudy_core::report::BugReport;
+/// use faultstudy_core::taxonomy::AppKind;
+///
+/// let report = BugReport::builder(AppKind::Mysql, 7).title("server crashed").build();
+/// let mut columns = ReportColumns::new();
+/// columns.push(&report);
+/// assert_eq!(columns.title(0), "server crashed");
+/// assert_eq!(columns.materialize(0), report);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportColumns {
+    /// Every text field of every report, back to back in push order.
+    text: String,
+    app: Vec<AppKind>,
+    id: Vec<u64>,
+    title: Vec<Span>,
+    body: Vec<Span>,
+    how_to_repeat: Vec<Span>,
+    developer_notes: Vec<Span>,
+    version: Vec<Span>,
+    severity: Vec<Severity>,
+    status: Vec<Status>,
+    production: Vec<bool>,
+    filed: Vec<YearMonth>,
+    source: Vec<ReportSource>,
+    duplicate_of: Vec<Option<u64>>,
+}
+
+impl ReportColumns {
+    /// An empty column set.
+    pub fn new() -> ReportColumns {
+        ReportColumns::default()
+    }
+
+    /// An empty column set sized for `reports` rows and `text_bytes` of
+    /// arena.
+    pub fn with_capacity(reports: usize, text_bytes: usize) -> ReportColumns {
+        ReportColumns {
+            text: String::with_capacity(text_bytes),
+            app: Vec::with_capacity(reports),
+            id: Vec::with_capacity(reports),
+            title: Vec::with_capacity(reports),
+            body: Vec::with_capacity(reports),
+            how_to_repeat: Vec::with_capacity(reports),
+            developer_notes: Vec::with_capacity(reports),
+            version: Vec::with_capacity(reports),
+            severity: Vec::with_capacity(reports),
+            status: Vec::with_capacity(reports),
+            production: Vec::with_capacity(reports),
+            filed: Vec::with_capacity(reports),
+            source: Vec::with_capacity(reports),
+            duplicate_of: Vec::with_capacity(reports),
+        }
+    }
+
+    /// Flattens `reports` into columns, sizing the arena up front.
+    pub fn from_reports<'a, I>(reports: I) -> ReportColumns
+    where
+        I: IntoIterator<Item = &'a BugReport>,
+        I::IntoIter: Clone,
+    {
+        let iter = reports.into_iter();
+        let (rows, bytes) = iter.clone().fold((0usize, 0usize), |(rows, bytes), r| {
+            (
+                rows + 1,
+                bytes
+                    + r.title.len()
+                    + r.body.len()
+                    + r.how_to_repeat.len()
+                    + r.developer_notes.len()
+                    + r.version.len(),
+            )
+        });
+        let mut columns = ReportColumns::with_capacity(rows, bytes);
+        for report in iter {
+            columns.push(report);
+        }
+        columns
+    }
+
+    /// Appends one report as a new row, copying its text into the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena would exceed `u32::MAX` bytes (spans are
+    /// 32-bit).
+    pub fn push(&mut self, report: &BugReport) {
+        let title = self.intern(&report.title);
+        let body = self.intern(&report.body);
+        let how_to_repeat = self.intern(&report.how_to_repeat);
+        let developer_notes = self.intern(&report.developer_notes);
+        let version = self.intern(&report.version);
+        self.app.push(report.app);
+        self.id.push(report.id);
+        self.title.push(title);
+        self.body.push(body);
+        self.how_to_repeat.push(how_to_repeat);
+        self.developer_notes.push(developer_notes);
+        self.version.push(version);
+        self.severity.push(report.severity);
+        self.status.push(report.status);
+        self.production.push(report.on_production_version);
+        self.filed.push(report.filed);
+        self.source.push(report.source);
+        self.duplicate_of.push(report.duplicate_of);
+    }
+
+    fn intern(&mut self, field: &str) -> Span {
+        let offset = self.text.len();
+        assert!(
+            offset + field.len() <= u32::MAX as usize,
+            "text arena exceeds the 32-bit span range"
+        );
+        self.text.push_str(field);
+        Span { offset: offset as u32, len: field.len() as u32 }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    /// Total bytes of text held by the arena.
+    pub fn arena_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// One row as a lightweight view.
+    pub fn row(&self, index: usize) -> ReportRow<'_> {
+        assert!(index < self.len(), "row {index} out of bounds ({} rows)", self.len());
+        ReportRow { columns: self, index }
+    }
+
+    /// Iterates over all rows in archive order.
+    pub fn iter(&self) -> impl Iterator<Item = ReportRow<'_>> {
+        (0..self.len()).map(move |index| ReportRow { columns: self, index })
+    }
+
+    /// Application column.
+    pub fn app(&self, index: usize) -> AppKind {
+        self.app[index]
+    }
+
+    /// Archive-id column.
+    pub fn id(&self, index: usize) -> u64 {
+        self.id[index]
+    }
+
+    /// Title text of one row.
+    pub fn title(&self, index: usize) -> &str {
+        self.title[index].slice(&self.text)
+    }
+
+    /// Body text of one row.
+    pub fn body(&self, index: usize) -> &str {
+        self.body[index].slice(&self.text)
+    }
+
+    /// How-To-Repeat text of one row.
+    pub fn how_to_repeat(&self, index: usize) -> &str {
+        self.how_to_repeat[index].slice(&self.text)
+    }
+
+    /// Developer-notes text of one row.
+    pub fn developer_notes(&self, index: usize) -> &str {
+        self.developer_notes[index].slice(&self.text)
+    }
+
+    /// Version string of one row.
+    pub fn version(&self, index: usize) -> &str {
+        self.version[index].slice(&self.text)
+    }
+
+    /// Severity column.
+    pub fn severity(&self, index: usize) -> Severity {
+        self.severity[index]
+    }
+
+    /// Lifecycle-status column.
+    pub fn status(&self, index: usize) -> Status {
+        self.status[index]
+    }
+
+    /// Production-version column.
+    pub fn production(&self, index: usize) -> bool {
+        self.production[index]
+    }
+
+    /// Filing-month column.
+    pub fn filed(&self, index: usize) -> YearMonth {
+        self.filed[index]
+    }
+
+    /// Report-source column.
+    pub fn source(&self, index: usize) -> ReportSource {
+        self.source[index]
+    }
+
+    /// Duplicate-link column.
+    pub fn duplicate_of(&self, index: usize) -> Option<u64> {
+        self.duplicate_of[index]
+    }
+
+    /// The searchable text of one row, in [`BugReport::full_text`] field
+    /// order, as borrowed segments — the input shape of the shared
+    /// automaton's segment scan.
+    pub fn text_segments(&self, index: usize) -> [&str; 4] {
+        [
+            self.title(index),
+            self.body(index),
+            self.how_to_repeat(index),
+            self.developer_notes(index),
+        ]
+    }
+
+    /// Whether the §4 selection keeps row `index`; column-only form of
+    /// [`BugReport::passes_selection`].
+    pub fn passes_selection(&self, index: usize) -> bool {
+        self.severity[index].is_high_impact()
+            && self.production[index]
+            && self.duplicate_of[index].is_none()
+    }
+
+    /// Reconstructs the full owned report of one row.
+    pub fn materialize(&self, index: usize) -> BugReport {
+        BugReport {
+            app: self.app[index],
+            id: self.id[index],
+            title: self.title(index).to_owned(),
+            body: self.body(index).to_owned(),
+            how_to_repeat: self.how_to_repeat(index).to_owned(),
+            developer_notes: self.developer_notes(index).to_owned(),
+            severity: self.severity[index],
+            status: self.status[index],
+            version: self.version(index).to_owned(),
+            on_production_version: self.production[index],
+            filed: self.filed[index],
+            source: self.source[index],
+            duplicate_of: self.duplicate_of[index],
+        }
+    }
+}
+
+/// A borrowed view of one [`ReportColumns`] row.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportRow<'a> {
+    columns: &'a ReportColumns,
+    index: usize,
+}
+
+impl<'a> ReportRow<'a> {
+    /// Row position in the column set.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Application the report is filed against.
+    pub fn app(&self) -> AppKind {
+        self.columns.app(self.index)
+    }
+
+    /// Archive-assigned identifier.
+    pub fn id(&self) -> u64 {
+        self.columns.id(self.index)
+    }
+
+    /// One-line summary.
+    pub fn title(&self) -> &'a str {
+        self.columns.title(self.index)
+    }
+
+    /// Free-form problem description.
+    pub fn body(&self) -> &'a str {
+        self.columns.body(self.index)
+    }
+
+    /// The How-To-Repeat field.
+    pub fn how_to_repeat(&self) -> &'a str {
+        self.columns.how_to_repeat(self.index)
+    }
+
+    /// Developer comments.
+    pub fn developer_notes(&self) -> &'a str {
+        self.columns.developer_notes(self.index)
+    }
+
+    /// Version string.
+    pub fn version(&self) -> &'a str {
+        self.columns.version(self.index)
+    }
+
+    /// Reporter-assigned severity.
+    pub fn severity(&self) -> Severity {
+        self.columns.severity(self.index)
+    }
+
+    /// Lifecycle status.
+    pub fn status(&self) -> Status {
+        self.columns.status(self.index)
+    }
+
+    /// Whether the reported version is a production release.
+    pub fn on_production_version(&self) -> bool {
+        self.columns.production(self.index)
+    }
+
+    /// When the report was filed.
+    pub fn filed(&self) -> YearMonth {
+        self.columns.filed(self.index)
+    }
+
+    /// Where the report came from.
+    pub fn source(&self) -> ReportSource {
+        self.columns.source(self.index)
+    }
+
+    /// Duplicate link, if any.
+    pub fn duplicate_of(&self) -> Option<u64> {
+        self.columns.duplicate_of(self.index)
+    }
+
+    /// Searchable text segments in `full_text` order.
+    pub fn text_segments(&self) -> [&'a str; 4] {
+        self.columns.text_segments(self.index)
+    }
+
+    /// Whether the §4 selection keeps this report.
+    pub fn passes_selection(&self) -> bool {
+        self.columns.passes_selection(self.index)
+    }
+
+    /// Reconstructs the full owned report.
+    pub fn materialize(&self) -> BugReport {
+        self.columns.materialize(self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64) -> BugReport {
+        BugReport::builder(AppKind::Mysql, id)
+            .title(format!("server crashed {id}"))
+            .body("segfault in optimizer")
+            .how_to_repeat("OPTIMIZE TABLE t")
+            .developer_notes("missing initialization")
+            .version("3.22.20", true)
+            .severity(Severity::Critical)
+            .status(Status::Fixed)
+            .filed(YearMonth::new(1999, 4))
+            .source(ReportSource::MailingList)
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let reports = vec![sample(1), sample(2), {
+            let mut r = sample(3);
+            r.duplicate_of = Some(1);
+            r.on_production_version = false;
+            r
+        }];
+        let columns = ReportColumns::from_reports(&reports);
+        assert_eq!(columns.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(&columns.materialize(i), r, "row {i}");
+            assert_eq!(columns.passes_selection(i), r.passes_selection(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn arena_is_contiguous_and_sized_exactly() {
+        let reports = vec![sample(1), sample(2)];
+        let columns = ReportColumns::from_reports(&reports);
+        let expected: usize = reports
+            .iter()
+            .map(|r| {
+                r.title.len()
+                    + r.body.len()
+                    + r.how_to_repeat.len()
+                    + r.developer_notes.len()
+                    + r.version.len()
+            })
+            .sum();
+        assert_eq!(columns.arena_len(), expected);
+    }
+
+    #[test]
+    fn segments_match_full_text_field_order() {
+        let r = sample(9);
+        let columns = ReportColumns::from_reports(std::iter::once(&r));
+        let segments = columns.text_segments(0);
+        assert_eq!(segments.join("\n"), r.full_text());
+    }
+
+    #[test]
+    fn rows_view_every_column() {
+        let r = sample(5);
+        let columns = ReportColumns::from_reports(std::iter::once(&r));
+        let row = columns.row(0);
+        assert_eq!(row.id(), 5);
+        assert_eq!(row.app(), AppKind::Mysql);
+        assert_eq!(row.title(), "server crashed 5");
+        assert_eq!(row.version(), "3.22.20");
+        assert_eq!(row.severity(), Severity::Critical);
+        assert_eq!(row.status(), Status::Fixed);
+        assert!(row.on_production_version());
+        assert_eq!(row.filed(), YearMonth::new(1999, 4));
+        assert_eq!(row.source(), ReportSource::MailingList);
+        assert_eq!(row.duplicate_of(), None);
+        assert_eq!(columns.iter().count(), 1);
+    }
+
+    #[test]
+    fn empty_fields_are_empty_slices() {
+        let r = BugReport::builder(AppKind::Apache, 1).build();
+        let columns = ReportColumns::from_reports(std::iter::once(&r));
+        assert_eq!(columns.title(0), "");
+        assert_eq!(columns.body(0), "");
+        assert_eq!(columns.version(0), "");
+        assert_eq!(columns.materialize(0), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_row_panics() {
+        ReportColumns::new().row(0);
+    }
+}

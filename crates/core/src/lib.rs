@@ -15,6 +15,8 @@
 //!   deriving a class from a triggering condition.
 //! - [`report`] — the [`report::BugReport`] data model, including the
 //!   "How-To-Repeat" field the paper calls *key* (§4).
+//! - [`flat`] — [`flat::ReportColumns`]: struct-of-arrays report storage
+//!   over a contiguous text arena, the layout archives scan at scale.
 //! - [`evidence`] — [`evidence::Evidence`], the structured facts a
 //!   classifier needs, and extraction of evidence from report text.
 //! - [`lexicon`] — the keyword → condition lexicon used by extraction.
@@ -49,6 +51,7 @@
 
 pub mod classify;
 pub mod evidence;
+pub mod flat;
 pub mod lexicon;
 pub mod report;
 pub mod scanset;

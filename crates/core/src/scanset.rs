@@ -118,12 +118,20 @@ impl ScanSet {
     /// [`BugReport::full_text`] concatenates — without materializing the
     /// concatenation.
     pub fn hits_report(&self, report: &BugReport) -> HitSet {
-        self.automaton.scan_segments(&[
+        self.hits_segments(&[
             &report.title,
             &report.body,
             &report.how_to_repeat,
             &report.developer_notes,
         ])
+    }
+
+    /// Scans borrowed text segments as one logical text with a break
+    /// between segments — the input shape of
+    /// [`flat::ReportColumns::text_segments`](crate::flat::ReportColumns::text_segments),
+    /// so arena-backed archives scan without materializing any report.
+    pub fn hits_segments(&self, segments: &[&str]) -> HitSet {
+        self.automaton.scan_segments(segments)
     }
 
     /// Evaluates every lexicon rule conjunction against `hits`, returning

@@ -13,6 +13,7 @@
 //! end-to-end check the paper itself could not perform on its sources.
 
 use crate::{corpus_for, CuratedFault};
+use faultstudy_core::flat::ReportColumns;
 use faultstudy_core::report::{BugReport, ReportSource, Status, YearMonth};
 use faultstudy_core::taxonomy::{AppKind, Severity};
 use faultstudy_sim::rng::{DetRng, Xoshiro256StarStar};
@@ -163,6 +164,14 @@ impl SyntheticPopulation {
     /// included.
     pub fn true_report_count(&self) -> usize {
         self.ground_truth.len()
+    }
+
+    /// Flattens the population into struct-of-arrays columns — one
+    /// contiguous text arena plus `(offset, len)` spans per field — the
+    /// layout the mining funnel scans. Row order is archive order, so
+    /// `columns.materialize(i) == self.reports[i]` for every row.
+    pub fn to_columns(&self) -> ReportColumns {
+        ReportColumns::from_reports(&self.reports)
     }
 }
 
@@ -328,6 +337,16 @@ mod tests {
                     r.title
                 );
             }
+        }
+    }
+
+    #[test]
+    fn columns_mirror_the_report_vector() {
+        let p = SyntheticPopulation::generate(&spec(AppKind::Gnome, 250));
+        let columns = p.to_columns();
+        assert_eq!(columns.len(), p.reports.len());
+        for (i, r) in p.reports.iter().enumerate() {
+            assert_eq!(&columns.materialize(i), r, "row {i}");
         }
     }
 

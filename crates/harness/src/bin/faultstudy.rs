@@ -1,7 +1,7 @@
 //! The `faultstudy` CLI: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! faultstudy <command> [--seed N] [--threads N] [--json]
+//! faultstudy <command> [--seed N] [--threads N] [--samples N] [--json]
 //!
 //! commands:
 //!   tables     Tables 1-3: per-application fault classification
@@ -40,6 +40,10 @@ struct Options {
     /// Worker threads for campaign/mining; `AUTO` = available parallelism.
     /// Results are byte-identical for every value.
     parallel: ParallelSpec,
+    /// Sample count for the `campaign` subcommand. The streaming fold
+    /// holds O(threads) state regardless of this value, so multi-million
+    /// sample stress runs are just slower, not bigger.
+    samples: u32,
 }
 
 /// Serializes `value` to pretty JSON on stdout; on failure, reports on
@@ -60,10 +64,10 @@ fn print_json<T: serde::Serialize>(what: &str, value: &T) -> bool {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--json]");
         return ExitCode::FAILURE;
     };
-    let mut opts = Options { seed: 2000, json: false, parallel: ParallelSpec::AUTO };
+    let mut opts = Options { seed: 2000, json: false, parallel: ParallelSpec::AUTO, samples: 500 };
     let mut rest = args;
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -79,6 +83,13 @@ fn main() -> ExitCode {
                 Some(v) => opts.parallel = ParallelSpec::threads(v),
                 None => {
                     eprintln!("--threads requires an integer value (0 = auto)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--samples" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.samples = v,
+                _ => {
+                    eprintln!("--samples requires a positive integer value");
                     return ExitCode::FAILURE;
                 }
             },
@@ -283,11 +294,11 @@ fn metrics(opts: &Options) -> bool {
     registry.merge_from(&injection);
 
     if opts.json {
-        let mut ttr: Vec<(String, serde_json::Value)> = Vec::new();
+        let mut ttr: Vec<(std::borrow::Cow<'static, str>, serde_json::Value)> = Vec::new();
         for strategy in StrategyKind::ALL {
             if let Some(h) = registry.histogram("recovery.ttr", strategy.name()) {
                 ttr.push((
-                    strategy.name().to_owned(),
+                    strategy.name().into(),
                     serde_json::json!({
                         "n": h.count(),
                         "p50_ns": h.p50(),
@@ -297,10 +308,10 @@ fn metrics(opts: &Options) -> bool {
                 ));
             }
         }
-        let mut supervisor: Vec<(String, serde_json::Value)> = Vec::new();
+        let mut supervisor: Vec<(std::borrow::Cow<'static, str>, serde_json::Value)> = Vec::new();
         for strategy in StrategyKind::ALL {
             supervisor.push((
-                strategy.name().to_owned(),
+                strategy.name().into(),
                 serde_json::json!({
                     "watchdog_fires": registry.counter("supervisor.watchdog", strategy.name()),
                     "breaker_trips": registry.counter("supervisor.breaker.trips", strategy.name()),
@@ -308,12 +319,12 @@ fn metrics(opts: &Options) -> bool {
                 }),
             ));
         }
-        let mut stages: Vec<(String, serde_json::Value)> = Vec::new();
+        let mut stages: Vec<(std::borrow::Cow<'static, str>, serde_json::Value)> = Vec::new();
         for (key, reports) in registry.counters() {
             let Some(label) = key.strip_prefix("mining.stage.reports{") else { continue };
             let label = label.trim_end_matches('}');
             stages.push((
-                label.to_owned(),
+                label.to_owned().into(),
                 serde_json::json!({
                     "reports": reports,
                     "nanos": registry.counter("mining.stage.nanos", label),
@@ -368,8 +379,10 @@ fn metrics(opts: &Options) -> bool {
 }
 
 fn campaign(opts: &Options) -> bool {
-    let report =
-        CampaignReport::run_with(CampaignSpec { samples: 500, seed: opts.seed }, opts.parallel);
+    let report = CampaignReport::run_with(
+        CampaignSpec { samples: opts.samples, seed: opts.seed },
+        opts.parallel,
+    );
     if opts.json {
         return print_json("campaign", &report);
     }

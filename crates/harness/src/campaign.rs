@@ -7,12 +7,16 @@
 //! the only stochastic cell (races depend on the drawn interleavings), so
 //! the campaign reports their survival rate with its spread.
 
-use crate::experiment::{run_fault_experiment, run_fault_experiment_instrumented, StrategyKind};
+use crate::experiment::{
+    build_workload, run_fault_experiment, run_fault_experiment_instrumented,
+    run_prepared_experiment, run_prepared_experiment_instrumented, LeanOutcome, StrategyKind,
+};
+use faultstudy_apps::Request;
 use faultstudy_core::taxonomy::FaultClass;
 use faultstudy_corpus::{full_corpus, CuratedFault};
-use faultstudy_exec::{run_indexed, ParallelSpec};
+use faultstudy_exec::{run_chunk_fold, run_indexed, ParallelSpec};
 use faultstudy_obs::MetricsRegistry;
-use faultstudy_sim::rng::{split_seed, DetRng, Xoshiro256StarStar};
+use faultstudy_sim::rng::{split_seed, DetRng, SplitSeedStream, Xoshiro256StarStar};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -85,6 +89,100 @@ fn draw(
     (fault, strategy, rng.next_u64())
 }
 
+/// Number of `(class, strategy)` cells a campaign can populate.
+const CELL_COUNT: usize = FaultClass::ALL.len() * StrategyKind::ALL.len();
+
+/// Constant-size partial aggregate of one campaign index-partition: the
+/// streaming fold's accumulator. A whole campaign needs O(workers) of
+/// these instead of O(samples) materialized outcomes, which is what lets
+/// sample counts reach the tens of millions.
+struct CampaignAcc {
+    /// `(survived, total)` per `(class, strategy)` cell, flat in the order
+    /// the `ALL` arrays declare. That order equals the derived `Ord`
+    /// order of both enums, so emitting non-empty cells in flat order
+    /// reproduces the materialized `BTreeMap` aggregation byte for byte.
+    counts: [(u32, u32); CELL_COUNT],
+    /// Guarantee violations, in sample-index order.
+    anomalies: Vec<String>,
+    /// Merged metrics, folded per sample in index order.
+    registry: MetricsRegistry,
+}
+
+impl CampaignAcc {
+    fn new() -> CampaignAcc {
+        CampaignAcc {
+            counts: [(0, 0); CELL_COUNT],
+            anomalies: Vec::new(),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    fn cell(class: FaultClass, strategy: StrategyKind) -> usize {
+        class as usize * StrategyKind::ALL.len() + strategy as usize
+    }
+
+    /// Folds one sample's outcome in. Mirrors `aggregate`'s per-sample
+    /// body exactly — same counter order, same anomaly text — except the
+    /// anomaly borrows the slug from the corpus instead of owning it.
+    fn record(
+        &mut self,
+        slug: &str,
+        strategy: StrategyKind,
+        env_seed: u64,
+        out: LeanOutcome,
+        instrumented: bool,
+    ) {
+        let cell = &mut self.counts[Self::cell(out.class, strategy)];
+        cell.1 += 1;
+        cell.0 += u32::from(out.survived);
+        let violates = out.survived
+            && (out.class == FaultClass::EnvironmentIndependent
+                || (out.class == FaultClass::EnvDependentNonTransient && strategy.is_generic()));
+        if violates {
+            self.anomalies.push(format!("{slug} survived {} at seed {env_seed}", strategy.name()));
+        }
+        if instrumented {
+            self.registry.incr("experiment.total", strategy.name(), 1);
+            if out.survived {
+                self.registry.incr("experiment.survived", strategy.name(), 1);
+            }
+            if out.recoveries > 0 {
+                self.registry.incr("recovery.actions", strategy.name(), u64::from(out.recoveries));
+            }
+        }
+    }
+
+    /// Merges a later index-partition into this one. Because every fold
+    /// ingredient is append (anomalies) or accumulate (counts, registry),
+    /// merging partials in index order is identical to having folded the
+    /// later partition's samples directly — the law the differential
+    /// tests in `tests/parallel_determinism.rs` pin down.
+    fn merge(&mut self, later: CampaignAcc) {
+        for (a, b) in self.counts.iter_mut().zip(later.counts) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+        self.anomalies.extend(later.anomalies);
+        self.registry.merge_from(&later.registry);
+    }
+
+    fn into_report(self, spec: CampaignSpec) -> (CampaignReport, MetricsRegistry) {
+        let cells = FaultClass::ALL
+            .iter()
+            .flat_map(|&class| StrategyKind::ALL.iter().map(move |&strategy| (class, strategy)))
+            .map(|(class, strategy)| (class, strategy, self.counts[Self::cell(class, strategy)]))
+            .filter(|&(_, _, (_, total))| total > 0)
+            .map(|(class, strategy, (survived, total))| CampaignCell {
+                class,
+                strategy,
+                survived,
+                total,
+            })
+            .collect();
+        (CampaignReport { spec, cells, anomalies: self.anomalies }, self.registry)
+    }
+}
+
 fn aggregate(
     spec: CampaignSpec,
     samples: Vec<Sample>,
@@ -146,7 +244,7 @@ impl CampaignReport {
     /// index order. The report is therefore byte-identical for every thread
     /// count.
     pub fn run_with(spec: CampaignSpec, parallel: ParallelSpec) -> CampaignReport {
-        Self::run_sampled(spec, parallel, false).0
+        Self::run_streamed(spec, parallel, false).0
     }
 
     /// Runs the campaign with per-sample metrics enabled, returning the
@@ -160,10 +258,66 @@ impl CampaignReport {
         spec: CampaignSpec,
         parallel: ParallelSpec,
     ) -> (CampaignReport, MetricsRegistry) {
-        Self::run_sampled(spec, parallel, true)
+        Self::run_streamed(spec, parallel, true)
     }
 
-    fn run_sampled(
+    /// The streaming campaign engine behind [`run_with`](Self::run_with)
+    /// and [`run_instrumented`](Self::run_instrumented).
+    ///
+    /// Every fault's workload is prepared once up front; each worker then
+    /// folds its index-partition into a constant-size [`CampaignAcc`]
+    /// (per-chunk sample seeds derived in batch), and partials merge in
+    /// index order. Memory is O(workers), not O(samples).
+    fn run_streamed(
+        spec: CampaignSpec,
+        parallel: ParallelSpec,
+        instrumented: bool,
+    ) -> (CampaignReport, MetricsRegistry) {
+        let corpus = full_corpus();
+        let workloads: Vec<Vec<Request>> = corpus.iter().map(build_workload).collect();
+        let acc = run_chunk_fold(
+            spec.samples as usize,
+            parallel,
+            CampaignAcc::new,
+            |range, acc: &mut CampaignAcc| {
+                let mut seeds = SplitSeedStream::new(spec.seed, range.start as u64);
+                for _ in range {
+                    let mut rng = Xoshiro256StarStar::seed_from(seeds.next_seed());
+                    let fi = rng.below(corpus.len() as u64) as usize;
+                    let strategy =
+                        StrategyKind::ALL[rng.below(StrategyKind::ALL.len() as u64) as usize];
+                    let env_seed = rng.next_u64();
+                    let fault = &corpus[fi];
+                    let out = if instrumented {
+                        let (out, reg) = run_prepared_experiment_instrumented(
+                            fault,
+                            strategy,
+                            env_seed,
+                            &workloads[fi],
+                        );
+                        if !reg.is_empty() {
+                            acc.registry.merge_from(&reg);
+                        }
+                        out
+                    } else {
+                        run_prepared_experiment(fault, strategy, env_seed, &workloads[fi])
+                    };
+                    acc.record(fault.slug(), strategy, env_seed, out, instrumented);
+                }
+            },
+            |acc, later| acc.merge(later),
+        );
+        acc.into_report(spec)
+    }
+
+    /// The materialized reference engine: collects every sample outcome
+    /// into a vector, then aggregates — O(samples) memory.
+    ///
+    /// This is the original campaign implementation, kept as the oracle
+    /// the streaming fold is differentially tested against (and as the
+    /// byte-identity precondition the parallel bench asserts before
+    /// timing). Use [`run_with`](Self::run_with) for real campaigns.
+    pub fn run_materialized(
         spec: CampaignSpec,
         parallel: ParallelSpec,
         instrumented: bool,
@@ -289,6 +443,33 @@ mod tests {
                 CampaignReport::run_instrumented(spec, ParallelSpec::threads(threads));
             assert_eq!(report, ref_report, "{threads} threads");
             assert_eq!(registry, ref_registry, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn flat_cell_order_reproduces_btreemap_order() {
+        // The streaming accumulator indexes cells by enum discriminant and
+        // emits them in flat order; that only matches the materialized
+        // BTreeMap aggregation if each ALL array lists its variants in
+        // declaration (= derived Ord) order.
+        for (i, &class) in FaultClass::ALL.iter().enumerate() {
+            assert_eq!(class as usize, i, "{class:?}");
+        }
+        for (i, &strategy) in StrategyKind::ALL.iter().enumerate() {
+            assert_eq!(strategy as usize, i, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_fold_matches_the_materialized_reference() {
+        let spec = CampaignSpec { samples: 120, seed: 13 };
+        let (mat_report, mat_registry) =
+            CampaignReport::run_materialized(spec, ParallelSpec::SEQUENTIAL, true);
+        for threads in [1usize, 2, 4] {
+            let (report, registry) =
+                CampaignReport::run_instrumented(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, mat_report, "{threads} threads");
+            assert_eq!(registry, mat_registry, "{threads} threads");
         }
     }
 

@@ -115,6 +115,90 @@ fn workload_for(fault: &CuratedFault, benign: Request, trigger: Request) -> Vec<
     workload
 }
 
+/// Builds `fault`'s triggering workload without running anything.
+///
+/// Benign and trigger requests are pure functions of `(application,
+/// slug)` — they never read the environment — so a campaign prepares every
+/// fault's workload once up front instead of rebuilding (and re-cloning)
+/// it for each of millions of samples. The scratch environment here is
+/// discarded; only the request text survives.
+pub fn build_workload(fault: &CuratedFault) -> Vec<Request> {
+    let mut env = standard_env(0, false);
+    let mut app = spawn_app(fault.app(), &mut env);
+    app.inject(fault.slug(), &mut env).expect("every corpus fault is injectable");
+    let benign = app.benign_request();
+    let trigger =
+        app.trigger_request(fault.slug()).expect("every corpus fault has a triggering request");
+    workload_for(fault, benign, trigger)
+}
+
+/// The slug-free outcome of one experiment: what a campaign aggregates.
+///
+/// [`FaultOutcome`] owns the fault's slug, which costs an allocation per
+/// sample; the campaign hot path borrows the slug from the corpus instead
+/// and folds these plain counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeanOutcome {
+    /// The fault's class per the corpus.
+    pub class: FaultClass,
+    /// Whether the full triggering workload was eventually served.
+    pub survived: bool,
+    /// Fault manifestations observed.
+    pub failures: u32,
+    /// Recovery actions performed.
+    pub recoveries: u32,
+}
+
+fn run_prepared_in(
+    fault: &CuratedFault,
+    strategy: StrategyKind,
+    env: &mut Environment,
+    workload: &[Request],
+) -> LeanOutcome {
+    let mut app = spawn_app(fault.app(), env);
+    app.inject(fault.slug(), env).expect("every corpus fault is injectable into its application");
+    let mut strat = strategy.build();
+    let run = run_workload(app.as_mut(), env, workload, strat.as_mut());
+    LeanOutcome {
+        class: fault.class(),
+        survived: run.survived,
+        failures: run.failures,
+        recoveries: run.recoveries,
+    }
+}
+
+/// Runs one fault under one strategy against a workload prepared by
+/// [`build_workload`] — the campaign hot path. Byte-identical in outcome
+/// to [`run_fault_experiment`], minus the owned slug.
+pub fn run_prepared_experiment(
+    fault: &CuratedFault,
+    strategy: StrategyKind,
+    seed: u64,
+    workload: &[Request],
+) -> LeanOutcome {
+    let mut env = standard_env(seed, false);
+    run_prepared_in(fault, strategy, &mut env, workload)
+}
+
+/// Like [`run_prepared_experiment`] with the metrics sink enabled; returns
+/// the registry alongside the outcome, re-keying the TTR distribution
+/// under this experiment's matrix cell exactly as
+/// [`run_fault_experiment_instrumented`] does.
+pub fn run_prepared_experiment_instrumented(
+    fault: &CuratedFault,
+    strategy: StrategyKind,
+    seed: u64,
+    workload: &[Request],
+) -> (LeanOutcome, MetricsRegistry) {
+    let mut env = standard_env(seed, true);
+    let outcome = run_prepared_in(fault, strategy, &mut env, workload);
+    let mut reg = env.metrics.take().expect("metrics were enabled");
+    if let Some(ttr) = reg.histogram("recovery.ttr", strategy.name()).cloned() {
+        reg.merge_histogram("recovery.ttr.class", cell_label(fault.class(), strategy), ttr);
+    }
+    (outcome, reg)
+}
+
 /// The harness's standard environment budgets, shared by every experiment.
 pub(crate) fn standard_env(seed: u64, metrics: bool) -> Environment {
     Environment::builder()

@@ -48,7 +48,7 @@ pub fn run_funnel(app: AppKind, seed: u64) -> FunnelRun {
 pub fn run_funnel_with(app: AppKind, seed: u64, parallel: ParallelSpec) -> FunnelRun {
     let spec = PopulationSpec::paper_scale(app, seed);
     let population = SyntheticPopulation::generate(&spec);
-    let archive = Archive::new(app, population.reports.clone());
+    let archive = Archive::from_columns(app, population.to_columns());
     let outcome = SelectionPipeline::for_app(app).run_with(&archive, parallel);
     let quality = PrecisionRecall::measure(&outcome.selected, &population.ground_truth);
     FunnelRun { outcome, quality }
@@ -67,7 +67,7 @@ pub fn paper_scale_funnels_instrumented(
         .map(|&app| {
             let spec = PopulationSpec::paper_scale(app, seed);
             let population = SyntheticPopulation::generate(&spec);
-            let archive = Archive::new(app, population.reports.clone());
+            let archive = Archive::from_columns(app, population.to_columns());
             let (outcome, reg) =
                 SelectionPipeline::for_app(app).run_instrumented(&archive, parallel);
             registry.merge_from(&reg);

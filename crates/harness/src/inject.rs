@@ -24,7 +24,7 @@
 use crate::experiment::{standard_env, StrategyKind};
 use faultstudy_apps::{Application, MiniWeb};
 use faultstudy_core::taxonomy::FaultClass;
-use faultstudy_exec::{run_indexed, ParallelSpec};
+use faultstudy_exec::{run_chunk_fold, ParallelSpec};
 use faultstudy_inject::{standard_plans, InjectionPlan, Injector};
 use faultstudy_obs::MetricsRegistry;
 use faultstudy_recovery::{run_workload_supervised, BackoffPolicy, SupervisorConfig};
@@ -212,31 +212,52 @@ impl InjectReport {
         parallel: ParallelSpec,
         instrumented: bool,
     ) -> (InjectReport, MetricsRegistry) {
+        struct Acc {
+            cells: Vec<InjectCell>,
+            anomalies: Vec<String>,
+            registry: MetricsRegistry,
+        }
         let plans = standard_plans(spec.seed);
         let per_plan = StrategyKind::ALL.len() * 2;
-        let units = run_indexed(plans.len() * per_plan, parallel, |index| {
-            let plan = &plans[index / per_plan];
-            let strategy = StrategyKind::ALL[(index % per_plan) / 2];
-            let scrub = index % 2 == 1;
-            run_unit(plan, strategy, scrub, split_seed(spec.seed, index as u64), instrumented)
-        });
-        let mut cells = Vec::with_capacity(units.len());
-        let mut anomalies = Vec::new();
-        let mut registry = MetricsRegistry::new();
-        for (cell, metrics) in units {
-            anomalies.extend(contract_violation(&cell));
-            if let Some(reg) = &metrics {
-                registry.merge_from(reg);
-            }
-            if instrumented {
-                registry.incr("inject.units", cell.strategy.name(), 1);
-                if cell.survived {
-                    registry.incr("inject.survived", cell.strategy.name(), 1);
+        // Each worker folds its index-partition straight into a partial
+        // report; partials concatenate in chunk (= index) order, so no
+        // intermediate per-unit vector is ever materialized.
+        let acc = run_chunk_fold(
+            plans.len() * per_plan,
+            parallel,
+            || Acc { cells: Vec::new(), anomalies: Vec::new(), registry: MetricsRegistry::new() },
+            |range, acc: &mut Acc| {
+                for index in range {
+                    let plan = &plans[index / per_plan];
+                    let strategy = StrategyKind::ALL[(index % per_plan) / 2];
+                    let scrub = index % 2 == 1;
+                    let (cell, metrics) = run_unit(
+                        plan,
+                        strategy,
+                        scrub,
+                        split_seed(spec.seed, index as u64),
+                        instrumented,
+                    );
+                    acc.anomalies.extend(contract_violation(&cell));
+                    if let Some(reg) = &metrics {
+                        acc.registry.merge_from(reg);
+                    }
+                    if instrumented {
+                        acc.registry.incr("inject.units", cell.strategy.name(), 1);
+                        if cell.survived {
+                            acc.registry.incr("inject.survived", cell.strategy.name(), 1);
+                        }
+                    }
+                    acc.cells.push(cell);
                 }
-            }
-            cells.push(cell);
-        }
-        (InjectReport { spec, cells, anomalies }, registry)
+            },
+            |acc, later| {
+                acc.cells.extend(later.cells);
+                acc.anomalies.extend(later.anomalies);
+                acc.registry.merge_from(&later.registry);
+            },
+        );
+        (InjectReport { spec, cells: acc.cells, anomalies: acc.anomalies }, acc.registry)
     }
 
     /// The unit for `(plan, strategy, scrub)`, if the plan exists.

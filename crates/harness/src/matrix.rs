@@ -12,6 +12,7 @@ use crate::experiment::{
 };
 use faultstudy_core::taxonomy::FaultClass;
 use faultstudy_corpus::full_corpus;
+use faultstudy_exec::{run_chunk_fold, ParallelSpec};
 use faultstudy_obs::MetricsRegistry;
 use faultstudy_sim::time::Duration;
 use serde::{Deserialize, Serialize};
@@ -66,7 +67,16 @@ impl RecoveryMatrix {
 
     /// Runs the whole corpus under the given strategies only.
     pub fn run_strategies(seed: u64, strategies: &[StrategyKind]) -> RecoveryMatrix {
-        Self::run_strategies_sampled(seed, strategies, false).0
+        Self::run_strategies_sampled(seed, strategies, false, ParallelSpec::SEQUENTIAL).0
+    }
+
+    /// Runs the whole corpus under every strategy across worker threads.
+    ///
+    /// The matrix is byte-identical to [`RecoveryMatrix::run`]: each
+    /// experiment is keyed only by its `(fault, strategy)` index and the
+    /// shared seed, and chunk partials merge in index order.
+    pub fn run_parallel(seed: u64, parallel: ParallelSpec) -> RecoveryMatrix {
+        Self::run_strategies_sampled(seed, &StrategyKind::ALL, false, parallel).0
     }
 
     /// Runs the whole corpus under every strategy with per-experiment
@@ -78,51 +88,71 @@ impl RecoveryMatrix {
     /// (`recovery.ttr.class{<class>/<strategy>}`); render them next to the
     /// survival columns with [`RecoveryMatrix::render_with_ttr`].
     pub fn run_instrumented(seed: u64) -> (RecoveryMatrix, MetricsRegistry) {
-        Self::run_strategies_sampled(seed, &StrategyKind::ALL, true)
+        Self::run_strategies_sampled(seed, &StrategyKind::ALL, true, ParallelSpec::SEQUENTIAL)
     }
 
     fn run_strategies_sampled(
         seed: u64,
         strategies: &[StrategyKind],
         instrumented: bool,
+        parallel: ParallelSpec,
     ) -> (RecoveryMatrix, MetricsRegistry) {
-        let corpus = full_corpus();
-        let mut map: BTreeMap<(FaultClass, StrategyKind), Cell> = BTreeMap::new();
-        let mut outcomes = Vec::with_capacity(corpus.len() * strategies.len());
-        let mut registry = MetricsRegistry::new();
-        for fault in &corpus {
-            for &strategy in strategies {
-                let out = if instrumented {
-                    let (out, reg) = run_fault_experiment_instrumented(fault, strategy, seed);
-                    if !reg.is_empty() {
-                        registry.merge_from(&reg);
-                    }
-                    registry.incr("experiment.total", strategy.name(), 1);
-                    if out.survived {
-                        registry.incr("experiment.survived", strategy.name(), 1);
-                    }
-                    if out.recoveries > 0 {
-                        registry.incr(
-                            "recovery.actions",
-                            strategy.name(),
-                            u64::from(out.recoveries),
-                        );
-                    }
-                    out
-                } else {
-                    run_fault_experiment(fault, strategy, seed)
-                };
-                let cell = map.entry((out.class, strategy)).or_default();
-                cell.total += 1;
-                cell.survived += u32::from(out.survived);
-                outcomes.push(out);
-            }
+        struct Acc {
+            map: BTreeMap<(FaultClass, StrategyKind), Cell>,
+            outcomes: Vec<FaultOutcome>,
+            registry: MetricsRegistry,
         }
-        let cells = map
+        let corpus = full_corpus();
+        let acc = run_chunk_fold(
+            corpus.len() * strategies.len(),
+            parallel,
+            || Acc { map: BTreeMap::new(), outcomes: Vec::new(), registry: MetricsRegistry::new() },
+            |range, acc: &mut Acc| {
+                for index in range {
+                    let fault = &corpus[index / strategies.len()];
+                    let strategy = strategies[index % strategies.len()];
+                    let out = if instrumented {
+                        let (out, reg) = run_fault_experiment_instrumented(fault, strategy, seed);
+                        if !reg.is_empty() {
+                            acc.registry.merge_from(&reg);
+                        }
+                        acc.registry.incr("experiment.total", strategy.name(), 1);
+                        if out.survived {
+                            acc.registry.incr("experiment.survived", strategy.name(), 1);
+                        }
+                        if out.recoveries > 0 {
+                            acc.registry.incr(
+                                "recovery.actions",
+                                strategy.name(),
+                                u64::from(out.recoveries),
+                            );
+                        }
+                        out
+                    } else {
+                        run_fault_experiment(fault, strategy, seed)
+                    };
+                    let cell = acc.map.entry((out.class, strategy)).or_default();
+                    cell.total += 1;
+                    cell.survived += u32::from(out.survived);
+                    acc.outcomes.push(out);
+                }
+            },
+            |acc, later| {
+                for (key, cell) in later.map {
+                    let merged = acc.map.entry(key).or_default();
+                    merged.total += cell.total;
+                    merged.survived += cell.survived;
+                }
+                acc.outcomes.extend(later.outcomes);
+                acc.registry.merge_from(&later.registry);
+            },
+        );
+        let cells = acc
+            .map
             .into_iter()
             .map(|((class, strategy), cell)| MatrixCell { class, strategy, cell })
             .collect();
-        (RecoveryMatrix { seed, cells, outcomes }, registry)
+        (RecoveryMatrix { seed, cells, outcomes: acc.outcomes }, acc.registry)
     }
 
     /// The seed the matrix was computed with.
@@ -328,6 +358,15 @@ mod tests {
             text.lines().find(|l| l.starts_with("none") && l.contains('-')).expect("none TTR row")
         });
         assert!(none_row.contains('-'), "baseline shows empty TTR: {none_row}");
+    }
+
+    #[test]
+    fn matrix_is_identical_at_every_thread_count() {
+        let sequential = matrix();
+        for threads in [2, 4, 8] {
+            let parallel = RecoveryMatrix::run_parallel(2000, ParallelSpec::threads(threads));
+            assert_eq!(parallel, sequential, "matrix diverged at {threads} threads");
+        }
     }
 
     #[test]

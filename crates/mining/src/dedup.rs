@@ -99,17 +99,32 @@ pub fn dedup_indices_with_norms(
     selected: Vec<usize>,
     norms: Vec<String>,
 ) -> Vec<usize> {
+    dedup_indices_keyed(|i| (reports[i].id, reports[i].duplicate_of), selected, norms)
+}
+
+/// The storage-agnostic core of [`dedup_indices_with_norms`]: all it needs
+/// from a report is its archive id and duplicate link, supplied by `key`
+/// per index. Arena-backed archives pass their id/duplicate columns
+/// directly instead of materializing reports.
+///
+/// # Panics
+///
+/// Panics if `norms.len() != selected.len()`.
+pub fn dedup_indices_keyed<K>(key: K, selected: Vec<usize>, norms: Vec<String>) -> Vec<usize>
+where
+    K: Fn(usize) -> (u64, Option<u64>),
+{
     assert_eq!(selected.len(), norms.len(), "one normalized title per report");
     let mut paired: Vec<(usize, String)> = selected.into_iter().zip(norms).collect();
     // Earliest report first so the primary survives (stable, so equal ids
     // keep their incoming order, exactly as the owned variant did).
-    paired.sort_by_key(|&(i, _)| reports[i].id);
+    paired.sort_by_key(|&(i, _)| key(i).0);
     let mut seen_titles: HashSet<String> = HashSet::new();
     let mut kept_ids: HashSet<u64> = HashSet::new();
     let mut out = Vec::with_capacity(paired.len());
     for (i, norm) in paired {
-        let r = &reports[i];
-        if let Some(primary) = r.duplicate_of {
+        let (id, duplicate_of) = key(i);
+        if let Some(primary) = duplicate_of {
             if kept_ids.contains(&primary) {
                 continue; // formally linked duplicate of a kept report
             }
@@ -117,7 +132,7 @@ pub fn dedup_indices_with_norms(
         if !norm.is_empty() && !seen_titles.insert(norm) {
             continue; // same fault re-reported under an equivalent title
         }
-        kept_ids.insert(r.id);
+        kept_ids.insert(id);
         out.push(i);
     }
     out

@@ -76,13 +76,23 @@ impl KeywordQuery {
     /// scanned in place; the [`BugReport::full_text`] concatenation is
     /// never materialized.
     pub fn matches(&self, report: &BugReport) -> bool {
+        self.matches_segments(&[
+            &report.title,
+            &report.body,
+            &report.how_to_repeat,
+            &report.developer_notes,
+        ])
+    }
+
+    /// Whether any keyword occurs in any of the borrowed `segments` — the
+    /// zero-copy form the arena-backed archive feeds straight from its
+    /// span columns.
+    pub fn matches_segments(&self, segments: &[&str]) -> bool {
         if self.uses_shared_automaton() {
             let set = scanset::shared();
-            return set.matches_mysql_keywords(&set.hits_report(report));
+            return set.matches_mysql_keywords(&set.hits_segments(segments));
         }
-        [&report.title, &report.body, &report.how_to_repeat, &report.developer_notes]
-            .into_iter()
-            .any(|field| self.keywords.iter().any(|k| contains_ci(field, k)))
+        segments.iter().any(|field| self.keywords.iter().any(|k| contains_ci(field, k)))
     }
 
     /// The pre-automaton reference implementation of

@@ -16,7 +16,7 @@
 //! 44,000 → 44).
 
 use crate::archive::Archive;
-use crate::dedup::{dedup_indices_with_norms, normalize_title};
+use crate::dedup::{dedup_indices_keyed, normalize_title};
 use crate::keywords::KeywordQuery;
 use faultstudy_core::report::BugReport;
 use faultstudy_core::taxonomy::AppKind;
@@ -155,14 +155,16 @@ impl SelectionPipeline {
         metrics: &mut Metrics,
     ) -> PipelineOutcome {
         let app = archive.app();
-        let reports = archive.reports();
+        let columns = archive.columns();
         let mut funnel =
-            vec![FunnelStage { name: "raw archive".to_owned(), survivors: reports.len() }];
-        let mut selected: Vec<usize> = (0..reports.len()).collect();
+            vec![FunnelStage { name: "raw archive".to_owned(), survivors: columns.len() }];
+        let mut selected: Vec<usize> = (0..columns.len()).collect();
 
         if let Some(q) = &self.keyword_query {
             record_stage(metrics, app, "keyword match", selected.len());
-            let keep = run_indexed(selected.len(), parallel, |i| q.matches(&reports[selected[i]]));
+            let keep = run_indexed(selected.len(), parallel, |i| {
+                q.matches_segments(&columns.text_segments(selected[i]))
+            });
             selected = retain_by_mask(selected, &keep);
             funnel
                 .push(FunnelStage { name: "keyword match".to_owned(), survivors: selected.len() });
@@ -170,25 +172,25 @@ impl SelectionPipeline {
 
         record_stage(metrics, app, "high impact", selected.len());
         let keep = run_indexed(selected.len(), parallel, |i| {
-            reports[selected[i]].severity.is_high_impact()
+            columns.severity(selected[i]).is_high_impact()
         });
         selected = retain_by_mask(selected, &keep);
         funnel.push(FunnelStage { name: "high impact".to_owned(), survivors: selected.len() });
 
         record_stage(metrics, app, "production version", selected.len());
-        let keep =
-            run_indexed(selected.len(), parallel, |i| reports[selected[i]].on_production_version);
+        let keep = run_indexed(selected.len(), parallel, |i| columns.production(selected[i]));
         selected = retain_by_mask(selected, &keep);
         funnel
             .push(FunnelStage { name: "production version".to_owned(), survivors: selected.len() });
 
         record_stage(metrics, app, "unique bugs", selected.len());
         let norms =
-            run_indexed(selected.len(), parallel, |i| normalize_title(&reports[selected[i]].title));
-        let selected = dedup_indices_with_norms(reports, selected, norms);
+            run_indexed(selected.len(), parallel, |i| normalize_title(columns.title(selected[i])));
+        let selected =
+            dedup_indices_keyed(|i| (columns.id(i), columns.duplicate_of(i)), selected, norms);
         funnel.push(FunnelStage { name: "unique bugs".to_owned(), survivors: selected.len() });
 
-        let selected: Vec<BugReport> = selected.iter().map(|&i| reports[i].clone()).collect();
+        let selected: Vec<BugReport> = selected.iter().map(|&i| columns.materialize(i)).collect();
         PipelineOutcome { app, funnel, selected }
     }
 }

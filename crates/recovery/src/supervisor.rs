@@ -185,8 +185,14 @@ pub fn run_workload_supervised(
         backoff_total: Duration::ZERO,
     };
     let mut breaker = CircuitBreaker::new(config.breaker_threshold);
+    // The failure that ends a non-surviving run; formatted once at the end
+    // instead of per manifestation — recovered failures never surface.
+    let mut last_failure: Option<AppFailure> = None;
     'workload: for (index, original) in workload.iter().enumerate() {
-        let mut req = original.clone();
+        // Retries replay the request without its one-shot timing event; the
+        // request is only cloned when that distinction exists, so the happy
+        // path stays allocation-free.
+        let mut retry_req: Option<Request> = None;
         let mut attempt = 0u32;
         // Opened (in simulated time) at a request's first failure; closed
         // when the request finally succeeds. The span covers every retry,
@@ -197,9 +203,10 @@ pub fn run_workload_supervised(
             if let Some(h) = hook.as_deref_mut() {
                 h.pre_attempt(env);
             }
-            match app.handle(&req, env) {
+            let req = retry_req.as_ref().unwrap_or(original);
+            match app.handle(req, env) {
                 Ok(_) => {
-                    strategy.on_success(&req, app, env);
+                    strategy.on_success(req, app, env);
                     breaker.record_success();
                     out.run.completed += 1;
                     if let Some(span) = ttr {
@@ -211,14 +218,14 @@ pub fn run_workload_supervised(
                 }
                 Err(failure) => {
                     out.run.failures += 1;
-                    out.run.last_failure = Some(failure.to_string());
+                    last_failure = Some(failure);
                     attempt += 1;
                     ttr.get_or_insert_with(|| Span::begin(env.now()));
                     // A hang is not observable as a return value in the
                     // real world: the watchdog's deadline is what converts
                     // it into a detected failure, and the detection costs
                     // the full deadline in simulated time.
-                    if matches!(failure, AppFailure::Hang(_)) {
+                    if matches!(last_failure, Some(AppFailure::Hang(_))) {
                         if let Some(deadline) = config.watchdog {
                             env.advance(deadline);
                             out.watchdog_fires += 1;
@@ -254,15 +261,20 @@ pub fn run_workload_supervised(
                     }
                     // The retry replays the request without its one-shot
                     // environmental timing event.
-                    req.timing_event = false;
+                    if original.timing_event && retry_req.is_none() {
+                        let mut replay = original.clone();
+                        replay.timing_event = false;
+                        retry_req = Some(replay);
+                    }
                 }
             }
         }
     }
-    if out.run.survived {
+    if !out.run.survived {
         // Recovered transients are not "the final failure": a surviving
-        // run's contract is that every request was eventually served.
-        out.run.last_failure = None;
+        // run's contract is that every request was eventually served, so
+        // only a defeated run reports one.
+        out.run.last_failure = last_failure.map(|f| f.to_string());
     }
     out
 }

@@ -145,6 +145,64 @@ pub const fn split_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Fills `out[i] = split_seed(master, start + i)` in one pass.
+///
+/// The per-index form re-multiplies the index for every seed; the batch
+/// form jumps the SplitMix64 state to `start` once and then advances it
+/// additively, which is how the streaming campaign fold derives the seeds
+/// of a whole work-queue chunk at a time instead of per sample.
+pub fn fill_split_seeds(master: u64, start: u64, out: &mut [u64]) {
+    let mut state = master.wrapping_add(start.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for slot in out {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *slot = z ^ (z >> 31);
+    }
+}
+
+/// A buffered [`split_seed`] stream: derives seeds in blocks of
+/// [`SplitSeedStream::BLOCK`] and hands them out one at a time.
+///
+/// Semantically identical to calling `split_seed(master, index)` for
+/// `index = start, start + 1, …` — the batching is invisible except in the
+/// derivation cost — which is the law the rng tests pin down.
+#[derive(Debug, Clone)]
+pub struct SplitSeedStream {
+    master: u64,
+    /// Index of the *next* seed to derive into the buffer.
+    next_index: u64,
+    buf: Vec<u64>,
+    pos: usize,
+}
+
+impl SplitSeedStream {
+    /// Seeds derived per refill.
+    pub const BLOCK: usize = 1024;
+
+    /// A stream positioned at `start` under `master`.
+    pub fn new(master: u64, start: u64) -> SplitSeedStream {
+        SplitSeedStream { master, next_index: start, buf: Vec::new(), pos: 0 }
+    }
+
+    /// The next seed: `split_seed(master, index)` for the stream's current
+    /// index.
+    pub fn next_seed(&mut self) -> u64 {
+        if self.pos == self.buf.len() {
+            let remaining = u64::MAX - self.next_index;
+            let block = (Self::BLOCK as u64).min(remaining.max(1)) as usize;
+            self.buf.resize(block, 0);
+            fill_split_seeds(self.master, self.next_index, &mut self.buf);
+            self.next_index += block as u64;
+            self.pos = 0;
+        }
+        let seed = self.buf[self.pos];
+        self.pos += 1;
+        seed
+    }
+}
+
 /// xoshiro256\*\*: the default stream generator for all simulation components.
 ///
 /// State is seeded via SplitMix64 per the authors' recommendation, which
@@ -241,6 +299,43 @@ mod tests {
                     "master {master} index {index}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_derivation_matches_the_per_index_form() {
+        // The law the streaming campaign fold relies on: a block fill at
+        // any offset equals per-index split_seed calls.
+        for master in [0u64, 7, 2000, u64::MAX] {
+            for start in [0u64, 1, 1023, 1024, 1_000_000] {
+                let mut block = [0u64; 130];
+                fill_split_seeds(master, start, &mut block);
+                for (i, &seed) in block.iter().enumerate() {
+                    assert_eq!(
+                        seed,
+                        split_seed(master, start + i as u64),
+                        "master {master} start {start} offset {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_stream_is_the_split_seed_sequence() {
+        let mut stream = SplitSeedStream::new(42, 7);
+        for index in 7u64..7 + 3 * SplitSeedStream::BLOCK as u64 {
+            assert_eq!(stream.next_seed(), split_seed(42, index), "index {index}");
+        }
+        // A stream starting mid-block agrees with one that got there by
+        // iteration.
+        let mut jumped = SplitSeedStream::new(9, 500);
+        let mut walked = SplitSeedStream::new(9, 0);
+        for _ in 0..500 {
+            walked.next_seed();
+        }
+        for _ in 0..100 {
+            assert_eq!(jumped.next_seed(), walked.next_seed());
         }
     }
 

@@ -39,7 +39,7 @@ fn main() {
     println!("== what a differently-tuned pipeline would have found ==");
     // Searching only for "crash" misses race reports that never say it.
     let narrow = SelectionPipeline::with_keywords(Some(KeywordQuery::new(["crash"])));
-    let archive = Archive::new(AppKind::Mysql, population.reports.clone());
+    let archive = Archive::from_columns(AppKind::Mysql, population.to_columns());
     let narrow_out = narrow.run(&archive);
     let full_out = SelectionPipeline::for_app(AppKind::Mysql).run(&archive);
     println!(

@@ -1,6 +1,12 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_parallel.json (campaign samples/sec and mining
-# reports/sec at 1..N worker threads). Run from the repo root:
+# Updates BENCH_parallel.json (campaign samples/sec and mining
+# reports/sec at 1..N worker threads). The file's samples/sec trajectory
+# is appended to, not overwritten: each run preserves the prior
+# `trajectory` entries and adds its own 1-thread rate, so the file
+# accumulates the throughput history across PRs. The bench aborts if the
+# streaming campaign fold is not byte-identical to the materialized
+# reference, or if oversubscribed thread counts regress below half the
+# 1-thread rate. Run from the repo root:
 #
 #   sh scripts/bench_parallel.sh
 #

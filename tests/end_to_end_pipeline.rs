@@ -15,7 +15,7 @@ use faultstudy::mining::{Archive, SelectionPipeline};
 fn mine_and_classify(app: AppKind, seed: u64) -> Vec<ClassifiedFault> {
     let spec = PopulationSpec { app, archive_size: 800, max_duplicates_per_fault: 2, seed };
     let population = SyntheticPopulation::generate(&spec);
-    let archive = Archive::new(app, population.reports.clone());
+    let archive = Archive::from_columns(app, population.to_columns());
     let outcome = SelectionPipeline::for_app(app).run(&archive);
     let classifier = Classifier::default();
     outcome

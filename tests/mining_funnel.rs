@@ -61,7 +61,7 @@ fn selection_counts_are_stable_across_archive_seeds() {
             seed,
         };
         let population = SyntheticPopulation::generate(&spec);
-        let archive = Archive::new(AppKind::Apache, population.reports.clone());
+        let archive = Archive::from_columns(AppKind::Apache, population.to_columns());
         let outcome = SelectionPipeline::for_app(AppKind::Apache).run(&archive);
         assert_eq!(outcome.unique_bugs(), 50, "seed {seed}");
     }
@@ -78,7 +78,7 @@ fn single_keyword_pipelines_lose_recall() {
         seed: 9,
     };
     let population = SyntheticPopulation::generate(&spec);
-    let archive = Archive::new(AppKind::Mysql, population.reports.clone());
+    let archive = Archive::from_columns(AppKind::Mysql, population.to_columns());
     let full = SelectionPipeline::for_app(AppKind::Mysql).run(&archive).unique_bugs();
     assert_eq!(full, 44);
     let mut any_smaller = false;

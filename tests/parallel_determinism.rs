@@ -30,6 +30,44 @@ fn campaign_json_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The streaming fold is a drop-in replacement for the materialized
+/// engine: both the report and the instrumented metrics registry are
+/// byte-identical at every thread count.
+#[test]
+fn streaming_fold_matches_materialized_reference_at_every_thread_count() {
+    for seed in MASTER_SEEDS {
+        let spec = CampaignSpec { samples: 150, seed };
+        let (reference, reference_registry) =
+            CampaignReport::run_materialized(spec, ParallelSpec::SEQUENTIAL, true);
+        let reference_json = serde_json::to_string(&reference).expect("campaign serializes");
+        for threads in [1, 2, 4, 8] {
+            let (streamed, registry) =
+                CampaignReport::run_instrumented(spec, ParallelSpec::threads(threads));
+            assert_eq!(streamed, reference, "seed {seed}, {threads} threads");
+            assert_eq!(registry, reference_registry, "registry: seed {seed}, {threads} threads");
+            let json = serde_json::to_string(&streamed).expect("campaign serializes");
+            assert_eq!(json, reference_json, "json bytes: seed {seed}, {threads} threads");
+        }
+    }
+}
+
+/// The work-queue chunk size is as unobservable as the thread count: any
+/// chunking of the sample index space folds to the same bytes.
+#[test]
+fn streaming_fold_is_identical_for_every_chunk_size() {
+    let spec = CampaignSpec { samples: 130, seed: 2000 };
+    let (reference, reference_registry) =
+        CampaignReport::run_materialized(spec, ParallelSpec::SEQUENTIAL, true);
+    for chunk in [1, 2, 7, 16, 64, 130, 1000] {
+        for threads in [2, 4] {
+            let parallel = ParallelSpec::threads(threads).with_chunk(chunk);
+            let (streamed, registry) = CampaignReport::run_instrumented(spec, parallel);
+            assert_eq!(streamed, reference, "chunk {chunk}, {threads} threads");
+            assert_eq!(registry, reference_registry, "registry: chunk {chunk}, {threads} threads");
+        }
+    }
+}
+
 #[test]
 fn campaign_auto_parallelism_matches_sequential() {
     let spec = CampaignSpec { samples: 80, seed: 3 };

@@ -2,8 +2,11 @@
 //! closest the suite comes to the paper's production setting.
 
 use faultstudy::apps::spawn_app;
-use faultstudy::core::taxonomy::AppKind;
+use faultstudy::core::taxonomy::{AppKind, FaultClass};
 use faultstudy::env::Environment;
+use faultstudy::exec::ParallelSpec;
+use faultstudy::harness::campaign::{CampaignReport, CampaignSpec};
+use faultstudy::harness::experiment::StrategyKind;
 use faultstudy::harness::workload::WorkloadGen;
 use faultstudy::recovery::{run_workload, ProgressiveRetry, RestartRetry};
 
@@ -75,6 +78,37 @@ fn soak_outcomes_are_reproducible() {
         run_workload(app.as_mut(), &mut env, &workload, &mut strategy)
     };
     assert_eq!(run_once(), run_once());
+}
+
+/// The streaming campaign fold at stress scale: a million samples in
+/// release mode (scaled down under debug assertions so `cargo test` stays
+/// fast), with the constant-memory contract asserted structurally — the
+/// entire campaign aggregate is the survival-cell cross product plus the
+/// anomaly list, so its size must not grow with the sample count.
+#[test]
+fn million_sample_streaming_campaign_holds_constant_state() {
+    const SAMPLES: u32 = if cfg!(debug_assertions) { 50_000 } else { 1_000_000 };
+    let spec = |samples| CampaignSpec { samples, seed: 2000 };
+    let small = CampaignReport::run_with(spec(SAMPLES / 10), ParallelSpec::AUTO);
+    let big = CampaignReport::run_with(spec(SAMPLES), ParallelSpec::AUTO);
+
+    // 10x the samples, identical aggregate shape: the fold's state is the
+    // (class, strategy) cross product, not the sample stream.
+    let cell_bound = FaultClass::ALL.len() * StrategyKind::ALL.len();
+    assert!(big.cells.len() <= cell_bound, "{} cells exceed the cross product", big.cells.len());
+    assert_eq!(big.cells.len(), small.cells.len(), "cell count must not scale with samples");
+    assert!(big.anomalies.is_empty(), "contract violations at scale: {:?}", big.anomalies);
+
+    // Every sample landed in exactly one cell.
+    let total: u64 = big.cells.iter().map(|c| u64::from(c.total)).sum();
+    assert_eq!(total, u64::from(SAMPLES));
+    // And the paper's thesis holds at stress scale: generic recovery never
+    // rescues an environment-independent fault.
+    for cell in &big.cells {
+        if cell.class == FaultClass::EnvironmentIndependent && cell.strategy.is_generic() {
+            assert_eq!(cell.survived, 0, "{:?}/{:?} survived EI faults", cell.class, cell.strategy);
+        }
+    }
 }
 
 #[test]

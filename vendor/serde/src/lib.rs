@@ -13,6 +13,7 @@
 //! integer map keys as JSON strings) so data written by the real serde
 //! round-trips here and vice versa for the types this workspace defines.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -38,14 +39,22 @@ pub enum Content {
     /// An ordered sequence.
     Seq(Vec<Content>),
     /// An ordered map with string keys (the JSON object model).
-    Map(Vec<(String, Content)>),
+    ///
+    /// Keys are `Cow` so the derive-generated serializers can use the
+    /// field-name literals directly — struct snapshots allocate nothing
+    /// for their keys — while JSON parsing still produces owned keys.
+    /// `Cow`'s `PartialEq`/`Ord`/`Debug` all delegate to the underlying
+    /// `str`, so the two origins are indistinguishable downstream.
+    Map(Vec<(Cow<'static, str>, Content)>),
 }
 
 impl Content {
     /// Looks up a key in a map value.
     pub fn get(&self, key: &str) -> Option<&Content> {
         match self {
-            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            Content::Map(entries) => {
+                entries.iter().find(|(k, _)| k.as_ref() == key).map(|(_, v)| v)
+            }
             _ => None,
         }
     }
@@ -62,6 +71,16 @@ impl Content {
     /// Whether the value is JSON `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Content::Null)
+    }
+
+    /// The value as a float, widening integers; `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
     }
 
     /// The value as a string slice, if it is a string.
@@ -383,15 +402,16 @@ impl<T: Serialize + ?Sized> Serialize for &T {
 
 impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_content(&self) -> Content {
-        Content::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect())
+        Content::Map(self.iter().map(|(k, v)| (k.to_key().into(), v.to_content())).collect())
     }
 }
 impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
     fn from_content(content: &Content) -> Result<Self, DeError> {
         match content {
-            Content::Map(entries) => {
-                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?))).collect()
-            }
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k.as_ref())?, V::from_content(v)?)))
+                .collect(),
             other => Err(DeError::msg(format!("expected map, got {other:?}"))),
         }
     }
@@ -400,8 +420,8 @@ impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K,
 impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_content(&self) -> Content {
         // Deterministic output: sort entries by rendered key.
-        let mut entries: Vec<(String, Content)> =
-            self.iter().map(|(k, v)| (k.to_key(), v.to_content())).collect();
+        let mut entries: Vec<(Cow<'static, str>, Content)> =
+            self.iter().map(|(k, v)| (k.to_key().into(), v.to_content())).collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Content::Map(entries)
     }
@@ -414,9 +434,10 @@ where
 {
     fn from_content(content: &Content) -> Result<Self, DeError> {
         match content {
-            Content::Map(entries) => {
-                entries.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?))).collect()
-            }
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k.as_ref())?, V::from_content(v)?)))
+                .collect(),
             other => Err(DeError::msg(format!("expected map, got {other:?}"))),
         }
     }
@@ -492,8 +513,8 @@ tuple_impl! {
 impl Serialize for std::time::Duration {
     fn to_content(&self) -> Content {
         Content::Map(vec![
-            ("secs".to_owned(), Content::U64(self.as_secs())),
-            ("nanos".to_owned(), Content::U64(u64::from(self.subsec_nanos()))),
+            (Cow::Borrowed("secs"), Content::U64(self.as_secs())),
+            (Cow::Borrowed("nanos"), Content::U64(u64::from(self.subsec_nanos()))),
         ])
     }
 }

@@ -176,7 +176,7 @@ fn gen_serialize(item: &Item) -> String {
                 .iter()
                 .map(|f| {
                     format!(
-                        "(::std::string::String::from({f:?}), \
+                        "(::std::borrow::Cow::Borrowed({f:?}), \
                          ::serde::Serialize::to_content(&self.{f}))"
                     )
                 })
@@ -225,7 +225,7 @@ fn gen_serialize(item: &Item) -> String {
                             };
                             format!(
                                 "{name}::{vname}({binds}) => ::serde::Content::Map(\
-                                 ::std::vec![(::std::string::String::from({vname:?}), {payload})]),",
+                                 ::std::vec![(::std::borrow::Cow::Borrowed({vname:?}), {payload})]),",
                                 binds = binds.join(", ")
                             )
                         }
@@ -234,14 +234,14 @@ fn gen_serialize(item: &Item) -> String {
                                 .iter()
                                 .map(|f| {
                                     format!(
-                                        "(::std::string::String::from({f:?}), \
+                                        "(::std::borrow::Cow::Borrowed({f:?}), \
                                          ::serde::Serialize::to_content({f}))"
                                     )
                                 })
                                 .collect();
                             format!(
                                 "{name}::{vname} {{ {fields} }} => ::serde::Content::Map(\
-                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 ::std::vec![(::std::borrow::Cow::Borrowed({vname:?}), \
                                  ::serde::Content::Map(::std::vec![{entries}]))]),",
                                 fields = fields.join(", "),
                                 entries = entries.join(", ")
@@ -387,7 +387,7 @@ fn gen_deserialize(item: &Item) -> String {
                          }},\n\
                          ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
                              let (__tag, __payload) = &__entries[0];\n\
-                             match __tag.as_str() {{\n\
+                             match &**__tag {{\n\
                                  {map_arms}\n\
                                  __other => ::std::result::Result::Err(::serde::DeError::msg(\
                                      ::std::format!(\"unknown variant {{__other:?}} of {name}\"))),\n\

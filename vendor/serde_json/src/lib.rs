@@ -81,7 +81,7 @@ macro_rules! json {
     };
     ({ $( $key:literal : $value:expr ),* $(,)? }) => {
         $crate::Value::Map(::std::vec![
-            $( (::std::string::String::from($key), $crate::to_value(&$value)) ),*
+            $( (::std::borrow::Cow::from($key), $crate::to_value(&$value)) ),*
         ])
     };
     ($other:expr) => { $crate::to_value(&$other) };
@@ -125,7 +125,7 @@ fn write_value(out: &mut String, value: &Content, indent: Option<usize>, depth: 
                     out.push(',');
                 }
                 newline_indent(out, indent, depth + 1);
-                write_escaped(out, key);
+                write_escaped(out, key.as_ref());
                 out.push(':');
                 if indent.is_some() {
                     out.push(' ');
@@ -373,7 +373,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             self.expect(b':')?;
             let value = self.parse_value()?;
-            entries.push((key, value));
+            entries.push((key.into(), value));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => {
