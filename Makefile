@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject verify fmt lint
+.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject bench-traffic verify fmt lint
 
 build:
 	cargo build --release
@@ -23,6 +23,10 @@ bench-obs:
 # Writes BENCH_inject.json: injection-campaign determinism + supervisor overhead.
 bench-inject:
 	sh scripts/bench_inject.sh
+
+# Writes BENCH_traffic.json: open-loop traffic engine requests/sec at 1..N threads.
+bench-traffic:
+	sh scripts/bench_traffic.sh
 
 verify:
 	cargo run --release -p faultstudy-harness --bin faultstudy -- verify

@@ -1,7 +1,8 @@
 //! The `faultstudy` CLI: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! faultstudy <command> [--seed N] [--threads N] [--samples N] [--json]
+//! faultstudy <command> [--seed N] [--threads N] [--samples N]
+//!            [--requests N] [--arrival poisson|bursty|diurnal] [--json]
 //!
 //! commands:
 //!   tables     Tables 1-3: per-application fault classification
@@ -11,6 +12,7 @@
 //!   recover    the end-to-end recovery matrix (§5.4/§8 future work)
 //!   campaign   randomized (fault, strategy, seed) sampling in distribution
 //!   inject     plan-driven environment injection x strategy x scrub
+//!   traffic    open-loop traffic with per-request SLO accounting
 //!   metrics    deterministic observability: TTR histograms + stage timings
 //!   verify     CI self-check: exits non-zero if a guarantee fails
 //!   lee-iyer   the §7 reconciliation with \[Lee93\]
@@ -26,12 +28,13 @@ use faultstudy_core::timeline::{by_month, by_release};
 use faultstudy_corpus::paper_study;
 use faultstudy_harness::{
     paper_scale_funnels_with, CampaignReport, CampaignSpec, InjectReport, InjectSpec, ParallelSpec,
-    RecoveryMatrix,
+    RecoveryMatrix, TrafficReport, TrafficSpec,
 };
 use faultstudy_report::{
     render_discussion, render_release_figure, render_table, render_time_figure,
     TandemReconciliation,
 };
+use faultstudy_traffic::ArrivalKind;
 use std::process::ExitCode;
 
 struct Options {
@@ -44,6 +47,12 @@ struct Options {
     /// holds O(threads) state regardless of this value, so multi-million
     /// sample stress runs are just slower, not bigger.
     samples: u32,
+    /// Total requests the `traffic` subcommand offers across its units.
+    /// All of it is simulated time, so millions of requests are seconds
+    /// of wall clock.
+    requests: u64,
+    /// Arrival process of the `traffic` subcommand.
+    arrival: ArrivalKind,
 }
 
 /// Serializes `value` to pretty JSON on stdout; on failure, reports on
@@ -64,10 +73,17 @@ fn print_json<T: serde::Serialize>(what: &str, value: &T) -> bool {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|traffic|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--requests N] [--arrival poisson|bursty|diurnal] [--json]");
         return ExitCode::FAILURE;
     };
-    let mut opts = Options { seed: 2000, json: false, parallel: ParallelSpec::AUTO, samples: 500 };
+    let mut opts = Options {
+        seed: 2000,
+        json: false,
+        parallel: ParallelSpec::AUTO,
+        samples: 500,
+        requests: 20_000,
+        arrival: ArrivalKind::Poisson,
+    };
     let mut rest = args;
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -93,6 +109,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--requests" => match rest.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.requests = v,
+                _ => {
+                    eprintln!("--requests requires a positive integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--arrival" => match rest.next().as_deref().and_then(ArrivalKind::parse) {
+                Some(kind) => opts.arrival = kind,
+                None => {
+                    eprintln!("--arrival requires one of: poisson, bursty, diurnal");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
@@ -112,6 +142,7 @@ fn main() -> ExitCode {
         }
         "campaign" => campaign(&opts),
         "inject" => inject(&opts),
+        "traffic" => traffic(&opts),
         "metrics" => metrics(&opts),
         "verify" => verify(&opts),
         "all" => {
@@ -303,6 +334,8 @@ fn metrics(opts: &Options) -> bool {
                         "n": h.count(),
                         "p50_ns": h.p50(),
                         "p90_ns": h.p90(),
+                        "p99_ns": h.p99(),
+                        "p999_ns": h.p999(),
                         "max_ns": h.max(),
                     }),
                 ));
@@ -400,6 +433,22 @@ fn inject(opts: &Options) -> bool {
     }
     print!("{report}");
     report.anomalies.is_empty()
+}
+
+/// The traffic campaign: open-loop request streams through every
+/// injection plan x strategy x application, reported as availability,
+/// goodput, and tail latency per (fault class, strategy) cell, plus the
+/// recovery matrix extended with the SLO-miss column family.
+fn traffic(opts: &Options) -> bool {
+    let spec = TrafficSpec { seed: opts.seed, requests: opts.requests, arrival: opts.arrival };
+    let report = TrafficReport::run_with(spec, opts.parallel);
+    if opts.json {
+        return print_json("traffic report", &report);
+    }
+    print!("{report}");
+    let matrix = RecoveryMatrix::run(opts.seed);
+    print!("{}", matrix.render_with_slo(&report));
+    true
 }
 
 fn lee_iyer(opts: &Options) -> bool {

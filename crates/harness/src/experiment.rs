@@ -274,7 +274,7 @@ pub fn run_fault_experiment_instrumented(
 
 /// The `<class>/<strategy>` label of a matrix cell, interned once so the
 /// per-sample instrumented path never formats a label.
-fn cell_label(class: FaultClass, strategy: StrategyKind) -> &'static str {
+pub(crate) fn cell_label(class: FaultClass, strategy: StrategyKind) -> &'static str {
     use std::sync::OnceLock;
     static CELLS: OnceLock<Vec<String>> = OnceLock::new();
     let cells = CELLS.get_or_init(|| {

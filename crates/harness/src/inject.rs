@@ -28,7 +28,7 @@ use faultstudy_exec::{run_chunk_fold, ParallelSpec};
 use faultstudy_inject::{standard_plans, InjectionPlan, Injector};
 use faultstudy_obs::MetricsRegistry;
 use faultstudy_recovery::{run_workload_supervised, BackoffPolicy, SupervisorConfig};
-use faultstudy_sim::rng::split_seed;
+use faultstudy_sim::rng::{split_seed, SplitSeedStream};
 use faultstudy_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -227,17 +227,17 @@ impl InjectReport {
             parallel,
             || Acc { cells: Vec::new(), anomalies: Vec::new(), registry: MetricsRegistry::new() },
             |range, acc: &mut Acc| {
+                // One batched seed stream per chunk instead of a fresh
+                // `split_seed` derivation per unit; the stream yields the
+                // same `split_seed(seed, index)` values, so reports are
+                // unchanged.
+                let mut seeds = SplitSeedStream::new(spec.seed, range.start as u64);
                 for index in range {
                     let plan = &plans[index / per_plan];
                     let strategy = StrategyKind::ALL[(index % per_plan) / 2];
                     let scrub = index % 2 == 1;
-                    let (cell, metrics) = run_unit(
-                        plan,
-                        strategy,
-                        scrub,
-                        split_seed(spec.seed, index as u64),
-                        instrumented,
-                    );
+                    let (cell, metrics) =
+                        run_unit(plan, strategy, scrub, seeds.next_seed(), instrumented);
                     acc.anomalies.extend(contract_violation(&cell));
                     if let Some(reg) = &metrics {
                         acc.registry.merge_from(reg);

@@ -10,6 +10,8 @@
 //! - [`ablation`] — parameter sweeps over the recovery designs (E11–E13).
 //! - [`matrix`] — the full corpus × strategy survival matrix.
 //! - [`funnel`] — the §4 selection funnels at paper scale.
+//! - [`traffic`] — open-loop traffic streams with per-request SLO
+//!   accounting under injection load.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ pub mod expreport;
 pub mod funnel;
 pub mod inject;
 pub mod matrix;
+pub mod traffic;
 pub mod workload;
 
 pub use campaign::{CampaignReport, CampaignSpec};
@@ -47,3 +50,4 @@ pub use faultstudy_exec::ParallelSpec;
 pub use funnel::{paper_scale_funnels, paper_scale_funnels_instrumented, paper_scale_funnels_with};
 pub use inject::{InjectCell, InjectReport, InjectSpec};
 pub use matrix::RecoveryMatrix;
+pub use traffic::{TrafficCell, TrafficReport, TrafficSpec};

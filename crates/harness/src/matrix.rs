@@ -210,34 +210,72 @@ impl RecoveryMatrix {
         let _ = writeln!(out, "time to recovery (simulated, over recovered requests):");
         let _ = writeln!(
             out,
-            "{:<22} {:>6} {:>10} {:>10} {:>10}",
-            "strategy", "n", "p50", "p90", "max"
+            "{:<22} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "strategy", "n", "p50", "p90", "p99", "p999", "max"
         );
         for strategy in StrategyKind::ALL {
             match registry.histogram("recovery.ttr", strategy.name()) {
                 Some(h) if h.count() > 0 => {
                     let _ = writeln!(
                         out,
-                        "{:<22} {:>6} {:>10} {:>10} {:>10}",
+                        "{:<22} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
                         strategy.name(),
                         h.count(),
                         Duration::from_nanos(h.p50().expect("nonempty")).to_string(),
                         Duration::from_nanos(h.p90().expect("nonempty")).to_string(),
+                        Duration::from_nanos(h.p99().expect("nonempty")).to_string(),
+                        Duration::from_nanos(h.p999().expect("nonempty")).to_string(),
                         Duration::from_nanos(h.max().expect("nonempty")).to_string(),
                     );
                 }
                 _ => {
                     let _ = writeln!(
                         out,
-                        "{:<22} {:>6} {:>10} {:>10} {:>10}",
+                        "{:<22} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
                         strategy.name(),
                         0,
+                        "-",
+                        "-",
                         "-",
                         "-",
                         "-"
                     );
                 }
             }
+        }
+        out
+    }
+
+    /// Renders the matrix with an SLO-miss column family per fault class,
+    /// taken from a traffic campaign over the same strategies: the
+    /// fraction of offered requests that were dropped or answered over
+    /// the latency SLO. The survival matrix says whether a strategy keeps
+    /// an application alive; this family says what the users experienced
+    /// while it did.
+    pub fn render_with_slo(&self, traffic: &crate::traffic::TrafficReport) -> String {
+        let mut out = self.to_string();
+        let _ =
+            writeln!(out, "SLO misses under open-loop traffic (dropped + over-SLO, of offered):");
+        let _ = write!(out, "{:<22}", "strategy");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for strategy in StrategyKind::ALL {
+            let _ = write!(out, "{:<22}", strategy.name());
+            for class in FaultClass::ALL {
+                let stats = traffic.class_stats(class, strategy);
+                if stats.offered == 0 {
+                    let _ = write!(out, " {:>14}", "-");
+                } else {
+                    let _ = write!(
+                        out,
+                        " {:>14}",
+                        format!("{:.2}%", 100.0 * traffic.slo_miss_rate(class, strategy))
+                    );
+                }
+            }
+            let _ = writeln!(out);
         }
         out
     }

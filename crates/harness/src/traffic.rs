@@ -1,0 +1,490 @@
+//! The traffic campaign: open-loop request streams driven through every
+//! injection plan × recovery strategy × application.
+//!
+//! The injection campaign (see [`inject`](crate::inject)) asks a binary
+//! question — did a fixed nine-request workload survive? This campaign
+//! asks the operator's question instead: under sustained load and the
+//! same environmental perturbations, what availability, goodput, and
+//! tail latency does each strategy actually deliver? Each unit offers an
+//! open-loop stream of user sessions (arrivals never wait for the
+//! server), serves every request through the hardened per-request
+//! supervisor with the unit's injection plan firing mid-stream, and
+//! ledgers per-request outcomes into a latency histogram and SLO
+//! counters.
+//!
+//! Determinism: unit seeds come from the batched `split_seed` stream,
+//! arrival schedules and session randomness are derived per unit, and
+//! units fold in index order through [`run_chunk_fold`] — the report and
+//! the metrics registry are byte-identical at any thread count and chunk
+//! size.
+
+use crate::experiment::{cell_label, standard_env, StrategyKind};
+use faultstudy_apps::{spawn_app, Application, Request};
+use faultstudy_core::taxonomy::{AppKind, FaultClass};
+use faultstudy_exec::{run_chunk_fold, ParallelSpec};
+use faultstudy_inject::{standard_plans, InjectionPlan, Injector};
+use faultstudy_obs::MetricsRegistry;
+use faultstudy_recovery::{BackoffPolicy, SupervisorConfig};
+use faultstudy_sim::rng::{split_seed, SplitSeedStream};
+use faultstudy_sim::time::Duration;
+use faultstudy_traffic::{run_open_loop, ArrivalKind, TrafficParams, UnitStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of a traffic campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Master seed; the campaign is a pure function of it.
+    pub seed: u64,
+    /// Total requests offered across the whole campaign, spread evenly
+    /// over the units (earlier units absorb the remainder).
+    pub requests: u64,
+    /// Arrival-process family for every unit.
+    pub arrival: ArrivalKind,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec { seed: 1, requests: 20_000, arrival: ArrivalKind::Poisson }
+    }
+}
+
+/// One `(plan, strategy, application)` unit of the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficCell {
+    /// Application under load.
+    pub app: AppKind,
+    /// Injection plan name.
+    pub plan: String,
+    /// The paper class of the injected condition.
+    pub class: FaultClass,
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Injection events that came due and were applied.
+    pub injected: usize,
+    /// The unit's request ledger.
+    pub stats: UnitStats,
+}
+
+/// Aggregate of one traffic campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// The spec that produced this report.
+    pub spec: TrafficSpec,
+    /// Every unit, in `(plan, strategy, app)` enumeration order.
+    pub cells: Vec<TrafficCell>,
+}
+
+/// Units per campaign: every plan × strategy × application.
+fn unit_count(plans: usize) -> usize {
+    plans * StrategyKind::ALL.len() * AppKind::ALL.len()
+}
+
+/// The supervised-serving configuration of every traffic unit.
+///
+/// Requests take 500 µs of simulated service against a 1000 req/s offered
+/// rate, so the healthy system runs at 50% utilization with headroom for
+/// recovery stalls. The 4 s watchdog outlives every self-healing window;
+/// backoff matches the injection campaign's 50 ms–2 s band. The breaker
+/// is disabled: an open-loop stream must keep attempting requests so the
+/// ledger reflects every strategy's steady-state behaviour, not a single
+/// trip to degraded mode.
+fn traffic_config(backoff_seed: u64) -> SupervisorConfig {
+    SupervisorConfig {
+        watchdog: Some(Duration::from_secs(4)),
+        backoff: BackoffPolicy::new(
+            Duration::from_millis(50),
+            Duration::from_secs(2),
+            backoff_seed,
+        ),
+        breaker_threshold: 0,
+        scrub_every: 0,
+        request_takes: Duration::from_micros(500),
+    }
+}
+
+/// The request mix a unit's sessions draw from, prepared once per unit so
+/// the per-request path only indexes into it.
+///
+/// Every body is safe on a healthy application (served or gracefully
+/// denied); the environment-touching entries (descriptors, DNS, entropy,
+/// hostname) are what couple the stream to the injection plan's
+/// perturbations. On MiniWeb the plan's companion defect is armed, and
+/// its triggering request rides in the mix — the fault under study is
+/// *part of the traffic*, exactly the paper's "users do not generously
+/// avoid the trigger" assumption.
+fn traffic_mix(app: &dyn Application, kind: AppKind, plan: &InjectionPlan) -> Vec<Request> {
+    match kind {
+        AppKind::Apache => {
+            let trigger = app
+                .trigger_request(&plan.companion_defect)
+                .expect("every plan's companion defect has a trigger");
+            vec![
+                Request::new("GET /index.html"),
+                Request::new("GET /index.html"),
+                Request::new("GET /file"),
+                Request::new("GET /file"),
+                Request::new("AUTH admin"),
+                Request::new("RESOLVE remote.example"),
+                Request::new("SSL"),
+                Request::new("BIND"),
+                Request::new("KEEPALIVE 4"),
+                trigger.clone(),
+                trigger,
+            ]
+        }
+        AppKind::Gnome => vec![
+            Request::new("CLICK clock"),
+            Request::new("CLICK desktop-background"),
+            Request::new("OPEN desktop/readme.txt"),
+            Request::new("OPEN-DISPLAY"),
+            Request::new("PLAY-SOUND"),
+            Request::new("LAUNCH"),
+            Request::new("FORMULA (1+2)"),
+        ],
+        AppKind::Mysql => vec![
+            Request::new("PING"),
+            Request::new("PING"),
+            Request::new("CONNECT"),
+            Request::new("UNLOCK TABLES"),
+            Request::new("FLUSH TABLES"),
+        ],
+    }
+}
+
+/// One campaign unit: fresh environment and application, the plan's
+/// injector on the pre-attempt hook, and an open-loop request stream.
+fn run_unit(
+    plan: &InjectionPlan,
+    strategy: StrategyKind,
+    app_kind: AppKind,
+    requests: u64,
+    arrival: ArrivalKind,
+    unit_seed: u64,
+    instrumented: bool,
+) -> (TrafficCell, Option<MetricsRegistry>) {
+    let mut env = standard_env(unit_seed, instrumented);
+    let mut app = spawn_app(app_kind, &mut env);
+    if app_kind == AppKind::Apache {
+        app.arm_defect(&plan.companion_defect)
+            .expect("every plan's companion defect arms in MiniWeb");
+    }
+    let mix = traffic_mix(app.as_ref(), app_kind, plan);
+    let mut injector = Injector::new(plan, &mut env);
+    let mut strat = strategy.build();
+    let config = traffic_config(split_seed(unit_seed, 1));
+    let params = TrafficParams::standard(arrival, requests);
+    let stats = run_open_loop(
+        app.as_mut(),
+        &mut env,
+        strat.as_mut(),
+        &config,
+        Some(&mut injector),
+        &mix,
+        &params,
+        split_seed(unit_seed, 2),
+        split_seed(unit_seed, 3),
+    );
+    let cell = TrafficCell {
+        app: app_kind,
+        plan: plan.name.clone(),
+        class: plan.class,
+        strategy,
+        injected: injector.applied(),
+        stats,
+    };
+    let metrics = instrumented.then(|| env.metrics.take().expect("metrics were enabled"));
+    (cell, metrics.filter(|reg| !reg.is_empty()))
+}
+
+/// Ledgers a finished unit into the campaign registry under its interned
+/// `(class, strategy)` cell label.
+fn ledger_unit(registry: &mut MetricsRegistry, cell: &TrafficCell) {
+    let label = cell_label(cell.class, cell.strategy);
+    let s = &cell.stats;
+    registry.incr("traffic.offered", label, s.offered);
+    registry.incr("traffic.ok", label, s.ok);
+    registry.incr("traffic.denied", label, s.denied);
+    registry.incr("traffic.dropped", label, s.dropped);
+    registry.incr("traffic.slo.violations", label, s.slo_violations);
+    registry.incr("traffic.sim_nanos", label, s.sim_nanos);
+    registry.merge_histogram("traffic.latency", label, s.latency.clone());
+}
+
+impl TrafficReport {
+    /// Runs the campaign with the host's available parallelism.
+    pub fn run(spec: TrafficSpec) -> TrafficReport {
+        Self::run_with(spec, ParallelSpec::default())
+    }
+
+    /// Runs the campaign on `parallel` worker threads.
+    pub fn run_with(spec: TrafficSpec, parallel: ParallelSpec) -> TrafficReport {
+        Self::run_units(spec, parallel, false).0
+    }
+
+    /// Runs the campaign with per-unit metrics enabled, returning the
+    /// merged registry alongside the (unchanged) report.
+    ///
+    /// The registry carries per-cell request ledgers (`traffic.offered`,
+    /// `traffic.ok`, `traffic.denied`, `traffic.dropped`,
+    /// `traffic.slo.violations`, `traffic.sim_nanos`), the merged
+    /// per-cell latency histograms (`traffic.latency`), and everything
+    /// the environment's own sink recorded (supervisor hardening
+    /// counters, recovery TTR spans, injector applications). Registries
+    /// merge in unit-index order, so the result is byte-identical at any
+    /// thread count.
+    pub fn run_instrumented(
+        spec: TrafficSpec,
+        parallel: ParallelSpec,
+    ) -> (TrafficReport, MetricsRegistry) {
+        Self::run_units(spec, parallel, true)
+    }
+
+    fn run_units(
+        spec: TrafficSpec,
+        parallel: ParallelSpec,
+        instrumented: bool,
+    ) -> (TrafficReport, MetricsRegistry) {
+        struct Acc {
+            cells: Vec<TrafficCell>,
+            registry: MetricsRegistry,
+        }
+        let plans = standard_plans(spec.seed);
+        let units = unit_count(plans.len());
+        let per_app = AppKind::ALL.len();
+        let per_plan = StrategyKind::ALL.len() * per_app;
+        let base_requests = spec.requests / units as u64;
+        let remainder = spec.requests % units as u64;
+        let acc = run_chunk_fold(
+            units,
+            parallel,
+            || Acc { cells: Vec::new(), registry: MetricsRegistry::new() },
+            |range, acc: &mut Acc| {
+                // One batched seed stream per chunk: the worker derives
+                // consecutive unit seeds without per-unit rederivation.
+                let mut seeds = SplitSeedStream::new(spec.seed, range.start as u64);
+                for index in range {
+                    let plan = &plans[index / per_plan];
+                    let strategy = StrategyKind::ALL[(index % per_plan) / per_app];
+                    let app_kind = AppKind::ALL[index % per_app];
+                    let requests = base_requests + u64::from((index as u64) < remainder);
+                    let (cell, metrics) = run_unit(
+                        plan,
+                        strategy,
+                        app_kind,
+                        requests,
+                        spec.arrival,
+                        seeds.next_seed(),
+                        instrumented,
+                    );
+                    if let Some(reg) = &metrics {
+                        acc.registry.merge_from(reg);
+                    }
+                    if instrumented {
+                        ledger_unit(&mut acc.registry, &cell);
+                    }
+                    acc.cells.push(cell);
+                }
+            },
+            |acc, later| {
+                acc.cells.extend(later.cells);
+                acc.registry.merge_from(&later.registry);
+            },
+        );
+        (TrafficReport { spec, cells: acc.cells }, acc.registry)
+    }
+
+    /// The unit for `(plan, strategy, app)`, if the plan exists.
+    pub fn cell(&self, plan: &str, strategy: StrategyKind, app: AppKind) -> Option<&TrafficCell> {
+        self.cells.iter().find(|c| c.plan == plan && c.strategy == strategy && c.app == app)
+    }
+
+    /// The folded ledger of every unit of `class` under `strategy`,
+    /// across all plans and applications.
+    pub fn class_stats(&self, class: FaultClass, strategy: StrategyKind) -> UnitStats {
+        let mut total = UnitStats::default();
+        for cell in &self.cells {
+            if cell.class == class && cell.strategy == strategy {
+                total.absorb(&cell.stats);
+            }
+        }
+        total
+    }
+
+    /// The folded ledger of the whole campaign.
+    pub fn totals(&self) -> UnitStats {
+        let mut total = UnitStats::default();
+        for cell in &self.cells {
+            total.absorb(&cell.stats);
+        }
+        total
+    }
+
+    /// Fraction of offered requests in `(class, strategy)` that missed
+    /// the SLO — violations plus drops over offered, in [0, 1].
+    pub fn slo_miss_rate(&self, class: FaultClass, strategy: StrategyKind) -> f64 {
+        let stats = self.class_stats(class, strategy);
+        if stats.offered == 0 {
+            return 0.0;
+        }
+        (stats.slo_violations + stats.dropped) as f64 / stats.offered as f64
+    }
+}
+
+/// Nanoseconds rendered as fractional milliseconds for the SLO table.
+fn ms(nanos: Option<u64>) -> f64 {
+    nanos.unwrap_or(0) as f64 / 1e6
+}
+
+impl fmt::Display for TrafficReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Traffic campaign: {} requests offered over {} units ({} arrivals, seed {})",
+            self.spec.requests,
+            self.cells.len(),
+            self.spec.arrival.name(),
+            self.spec.seed
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:<13} {:>9} {:>7} {:>10} {:>9} {:>9} {:>7}",
+            "class", "strategy", "offered", "avail%", "goodput/s", "p99 ms", "p999 ms", "viol%"
+        )?;
+        for class in FaultClass::ALL {
+            for strategy in StrategyKind::ALL {
+                let s = self.class_stats(class, strategy);
+                if s.offered == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {:<12} {:<13} {:>9} {:>7.2} {:>10.1} {:>9.2} {:>9.2} {:>7.2}",
+                    class.short(),
+                    strategy.name(),
+                    s.offered,
+                    100.0 * s.availability(),
+                    s.goodput_per_sec(),
+                    ms(s.latency.p99()),
+                    ms(s.latency.p999()),
+                    100.0 * self.slo_miss_rate(class, strategy),
+                )?;
+            }
+        }
+        let t = self.totals();
+        writeln!(
+            f,
+            "  total: {} offered, {} answered ({:.2}%), {} dropped, {} SLO violations",
+            t.offered,
+            t.answered(),
+            100.0 * t.availability(),
+            t.dropped,
+            t.slo_violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(seed: u64) -> TrafficSpec {
+        TrafficSpec { seed, requests: 3_780, arrival: ArrivalKind::Poisson }
+    }
+
+    #[test]
+    fn campaign_offers_exactly_the_requested_load() {
+        let report = TrafficReport::run(small_spec(1));
+        assert_eq!(report.cells.len(), 9 * 7 * 3);
+        assert_eq!(report.totals().offered, 3_780);
+        // Every unit got its even share (3780 / 189 = 20 exactly).
+        assert!(report.cells.iter().all(|c| c.stats.offered == 20));
+    }
+
+    #[test]
+    fn uneven_loads_land_on_the_earliest_units() {
+        let spec = TrafficSpec { seed: 1, requests: 191, arrival: ArrivalKind::Poisson };
+        let report = TrafficReport::run(spec);
+        assert_eq!(report.totals().offered, 191);
+        assert_eq!(report.cells[0].stats.offered, 2);
+        assert_eq!(report.cells[1].stats.offered, 2);
+        assert_eq!(report.cells[2].stats.offered, 1);
+    }
+
+    #[test]
+    fn reports_are_reproducible_and_thread_invariant() {
+        let spec = small_spec(7);
+        let reference = TrafficReport::run_with(spec, ParallelSpec::threads(1));
+        for threads in [2usize, 4] {
+            let report = TrafficReport::run_with(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, reference, "{threads} threads");
+        }
+        // Chunk size must not matter either.
+        let chunked = TrafficReport::run_with(spec, ParallelSpec::threads(2).with_chunk(7));
+        assert_eq!(chunked, reference);
+    }
+
+    #[test]
+    fn faults_degrade_availability_but_recovery_restores_goodput() {
+        let report = TrafficReport::run(small_spec(3));
+        // The environment-independent control defeats every strategy on
+        // MiniWeb: its trigger rides in the mix and always crashes.
+        let none = report.class_stats(FaultClass::EnvironmentIndependent, StrategyKind::None);
+        assert!(none.dropped > 0, "EI triggers must drop requests under no recovery");
+        // Transient perturbations under restart still answer nearly all
+        // requests; under no recovery they drop more.
+        let restart = report.class_stats(FaultClass::EnvDependentTransient, StrategyKind::Restart);
+        let bare = report.class_stats(FaultClass::EnvDependentTransient, StrategyKind::None);
+        assert!(
+            restart.availability() >= bare.availability(),
+            "restart {} < none {}",
+            restart.availability(),
+            bare.availability()
+        );
+        assert!(report.totals().failures > 0, "the campaign must exercise faults");
+    }
+
+    #[test]
+    fn instrumented_campaign_reproduces_the_plain_report() {
+        let spec = small_spec(5);
+        let plain = TrafficReport::run(spec);
+        let (report, registry) = TrafficReport::run_instrumented(spec, ParallelSpec::default());
+        assert_eq!(report, plain, "metrics must not perturb the campaign");
+        // The per-cell ledgers reconcile with the report.
+        let mut offered = 0;
+        let mut latency_count = 0;
+        for class in FaultClass::ALL {
+            for strategy in StrategyKind::ALL {
+                let label = format!("{}/{}", class.short(), strategy.name());
+                offered += registry.counter("traffic.offered", &label);
+                latency_count +=
+                    registry.histogram("traffic.latency", &label).map_or(0, |h| h.count());
+            }
+        }
+        assert_eq!(offered, report.totals().offered);
+        assert_eq!(latency_count, report.totals().latency.count());
+    }
+
+    #[test]
+    fn instrumented_registry_is_identical_across_thread_counts() {
+        let spec = small_spec(2);
+        let (ref_report, ref_registry) =
+            TrafficReport::run_instrumented(spec, ParallelSpec::threads(1));
+        for threads in [2usize, 4] {
+            let (report, registry) =
+                TrafficReport::run_instrumented(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, ref_report, "{threads} threads");
+            assert_eq!(registry, ref_registry, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn display_renders_the_slo_table() {
+        let report = TrafficReport::run(small_spec(4));
+        let text = report.to_string();
+        assert!(text.contains("goodput/s"));
+        assert!(text.contains("p999 ms"));
+        assert!(text.contains("restart"));
+        assert!(text.contains("total:"));
+    }
+}

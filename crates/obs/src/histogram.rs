@@ -160,6 +160,17 @@ impl Histogram {
         self.quantile(9, 10)
     }
 
+    /// 99th-percentile approximation.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(99, 100)
+    }
+
+    /// 99.9th-percentile approximation: the traffic engine's tail-latency
+    /// SLO quantile.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(999, 1000)
+    }
+
     /// Non-empty buckets in index order, as `(bucket index, count)` pairs
     /// with indices per [`bucket_index`].
     pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {

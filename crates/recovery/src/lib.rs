@@ -58,5 +58,6 @@ pub use restart::RestartRetry;
 pub use rollback::RollbackRecovery;
 pub use strategy::{NoRecovery, RecoveryStrategy};
 pub use supervisor::{
-    run_workload, run_workload_supervised, EnvHook, SupervisedRun, SupervisorConfig, WorkloadRun,
+    run_workload, run_workload_supervised, EnvHook, RequestSupervisor, ServeOutcome, SupervisedRun,
+    SupervisorConfig, WorkloadRun,
 };

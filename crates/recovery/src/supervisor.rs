@@ -153,42 +153,100 @@ pub fn run_workload(
     run_workload_supervised(app, env, workload, strategy, &SupervisorConfig::permissive(), None).run
 }
 
-/// Runs `workload` under `strategy` with the hardened supervisor policies
-/// of `config`, consulting `hook` before every attempt.
+/// Outcome of supervising one request through [`RequestSupervisor::serve`].
 ///
-/// Watchdog fires, breaker trips, scrubs, and backoff delays are recorded
-/// through the environment's metrics sink (as `supervisor.*` keys labelled
-/// by strategy), all in simulated time, so instrumentation never perturbs
-/// the run.
-pub fn run_workload_supervised(
-    app: &mut dyn Application,
-    env: &mut Environment,
-    workload: &[Request],
-    strategy: &mut dyn RecoveryStrategy,
-    config: &SupervisorConfig,
-    mut hook: Option<&mut dyn EnvHook>,
-) -> SupervisedRun {
-    strategy.on_start(app, env);
-    let mut out = SupervisedRun {
-        run: WorkloadRun {
-            completed: 0,
-            total: workload.len(),
+/// `failed_attempts` counts the attempts that manifested a fault before
+/// the terminal event (0 on a clean first-try success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The request was eventually served.
+    Served {
+        /// Failed attempts preceding the success.
+        failed_attempts: u32,
+        /// Whether the serving answer was a graceful denial rather than a
+        /// success — the traffic engine's goodput excludes denials, while
+        /// availability counts them as answered.
+        denied: bool,
+    },
+    /// The strategy gave up; the request is lost.
+    Abandoned {
+        /// Failed attempts, including the final one.
+        failed_attempts: u32,
+    },
+    /// The circuit breaker tripped while recovering this request: the
+    /// request is lost and the supervisor is degraded — every later
+    /// request is [`ServeOutcome::Shed`] without an attempt.
+    Degraded {
+        /// Failed attempts, including the one that tripped the breaker.
+        failed_attempts: u32,
+    },
+    /// Shed unattempted because the supervisor had already degraded.
+    Shed,
+}
+
+/// The hardened per-request supervision loop, reusable one request at a
+/// time.
+///
+/// [`run_workload_supervised`] drives a fixed request slice through it;
+/// the traffic engine drives it from an open-loop arrival queue instead,
+/// one [`RequestSupervisor::serve`] call per arriving request. Both paths
+/// share this struct, so policy semantics (watchdog, backoff, breaker,
+/// scrub) cannot drift between the rep-driven and queue-driven harnesses.
+#[derive(Debug)]
+pub struct RequestSupervisor {
+    breaker: CircuitBreaker,
+    degraded: bool,
+    watchdog_fires: u32,
+    breaker_trips: u32,
+    scrubs: u32,
+    backoff_total: Duration,
+    failures: u32,
+    recoveries: u32,
+    // The failure that ends a non-surviving run; formatted once at the
+    // end instead of per manifestation — recovered failures never
+    // surface.
+    last_failure: Option<AppFailure>,
+}
+
+impl RequestSupervisor {
+    /// Opens a supervised session: gives `strategy` its start-of-workload
+    /// hook (checkpointing strategies take their initial checkpoint here)
+    /// and arms the circuit breaker from `config`.
+    pub fn begin(
+        app: &mut dyn Application,
+        env: &mut Environment,
+        strategy: &mut dyn RecoveryStrategy,
+        config: &SupervisorConfig,
+    ) -> RequestSupervisor {
+        strategy.on_start(app, env);
+        RequestSupervisor {
+            breaker: CircuitBreaker::new(config.breaker_threshold),
+            degraded: false,
+            watchdog_fires: 0,
+            breaker_trips: 0,
+            scrubs: 0,
+            backoff_total: Duration::ZERO,
             failures: 0,
             recoveries: 0,
-            survived: true,
             last_failure: None,
-        },
-        watchdog_fires: 0,
-        breaker_trips: 0,
-        scrubs: 0,
-        shed: 0,
-        backoff_total: Duration::ZERO,
-    };
-    let mut breaker = CircuitBreaker::new(config.breaker_threshold);
-    // The failure that ends a non-surviving run; formatted once at the end
-    // instead of per manifestation — recovered failures never surface.
-    let mut last_failure: Option<AppFailure> = None;
-    'workload: for (index, original) in workload.iter().enumerate() {
+        }
+    }
+
+    /// Attempts `original` until it is served, the strategy gives up, or
+    /// the breaker trips, applying the watchdog/backoff/scrub policies of
+    /// `config` and consulting `hook` before every attempt.
+    pub fn serve(
+        &mut self,
+        app: &mut dyn Application,
+        env: &mut Environment,
+        original: &Request,
+        strategy: &mut dyn RecoveryStrategy,
+        config: &SupervisorConfig,
+        hook: &mut Option<&mut dyn EnvHook>,
+    ) -> ServeOutcome {
+        if self.degraded {
+            return ServeOutcome::Shed;
+        }
         // Retries replay the request without its one-shot timing event; the
         // request is only cloned when that distinction exists, so the happy
         // path stays allocation-free.
@@ -205,58 +263,54 @@ pub fn run_workload_supervised(
             }
             let req = retry_req.as_ref().unwrap_or(original);
             match app.handle(req, env) {
-                Ok(_) => {
+                Ok(resp) => {
+                    let denied = !resp.is_ok();
                     strategy.on_success(req, app, env);
-                    breaker.record_success();
-                    out.run.completed += 1;
+                    self.breaker.record_success();
                     if let Some(span) = ttr {
                         let now = env.now();
                         env.metrics.record_span("recovery.ttr", strategy.name(), span, now);
                         env.metrics.record("recovery.retries", strategy.name(), u64::from(attempt));
                     }
-                    break;
+                    return ServeOutcome::Served { failed_attempts: attempt, denied };
                 }
                 Err(failure) => {
-                    out.run.failures += 1;
-                    last_failure = Some(failure);
+                    self.failures += 1;
+                    self.last_failure = Some(failure);
                     attempt += 1;
                     ttr.get_or_insert_with(|| Span::begin(env.now()));
                     // A hang is not observable as a return value in the
                     // real world: the watchdog's deadline is what converts
                     // it into a detected failure, and the detection costs
                     // the full deadline in simulated time.
-                    if matches!(last_failure, Some(AppFailure::Hang(_))) {
+                    if matches!(self.last_failure, Some(AppFailure::Hang(_))) {
                         if let Some(deadline) = config.watchdog {
                             env.advance(deadline);
-                            out.watchdog_fires += 1;
+                            self.watchdog_fires += 1;
                             env.metrics.incr("supervisor.watchdog", strategy.name(), 1);
                         }
                     }
                     if !strategy.on_failure(app, env, attempt) {
-                        out.run.survived = false;
-                        break 'workload;
+                        return ServeOutcome::Abandoned { failed_attempts: attempt };
                     }
-                    out.run.recoveries += 1;
-                    if breaker.record_failure() {
-                        // Graceful degradation: the last checkpoint stands,
-                        // the remaining workload is shed, and the run is
-                        // honestly reported as not survived (§7's criterion
-                        // — shed work was requested and never executed).
-                        out.breaker_trips += 1;
+                    self.recoveries += 1;
+                    if self.breaker.record_failure() {
+                        // Graceful degradation: the last checkpoint stands
+                        // and later requests are shed, not attempted.
+                        self.breaker_trips += 1;
                         env.metrics.incr("supervisor.breaker.trips", strategy.name(), 1);
-                        out.run.survived = false;
-                        out.shed = workload.len() - index - 1;
-                        break 'workload;
+                        self.degraded = true;
+                        return ServeOutcome::Degraded { failed_attempts: attempt };
                     }
                     if config.scrub_every > 0 && attempt.is_multiple_of(config.scrub_every) {
                         env.scrub();
-                        out.scrubs += 1;
+                        self.scrubs += 1;
                         env.metrics.incr("supervisor.scrubs", strategy.name(), 1);
                     }
                     let delay = config.backoff.delay(attempt);
                     if delay > Duration::ZERO {
                         env.advance(delay);
-                        out.backoff_total = out.backoff_total + delay;
+                        self.backoff_total = self.backoff_total + delay;
                         env.metrics.record_duration("supervisor.backoff", strategy.name(), delay);
                     }
                     // The retry replays the request without its one-shot
@@ -270,11 +324,107 @@ pub fn run_workload_supervised(
             }
         }
     }
+
+    /// Whether the breaker has tripped; every further serve is shed.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Hung attempts detected by the watchdog deadline so far.
+    pub fn watchdog_fires(&self) -> u32 {
+        self.watchdog_fires
+    }
+
+    /// Circuit-breaker trips so far (0 or 1).
+    pub fn breaker_trips(&self) -> u32 {
+        self.breaker_trips
+    }
+
+    /// Environment scrubs performed between retries so far.
+    pub fn scrubs(&self) -> u32 {
+        self.scrubs
+    }
+
+    /// Total simulated time spent in backoff delays so far.
+    pub fn backoff_total(&self) -> Duration {
+        self.backoff_total
+    }
+
+    /// Fault manifestations observed (first failures and failed retries).
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Recovery actions the strategy performed.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+
+    /// The most recent fault manifestation, recovered or not.
+    pub fn last_failure(&self) -> Option<&AppFailure> {
+        self.last_failure.as_ref()
+    }
+}
+
+/// Runs `workload` under `strategy` with the hardened supervisor policies
+/// of `config`, consulting `hook` before every attempt.
+///
+/// Watchdog fires, breaker trips, scrubs, and backoff delays are recorded
+/// through the environment's metrics sink (as `supervisor.*` keys labelled
+/// by strategy), all in simulated time, so instrumentation never perturbs
+/// the run.
+pub fn run_workload_supervised(
+    app: &mut dyn Application,
+    env: &mut Environment,
+    workload: &[Request],
+    strategy: &mut dyn RecoveryStrategy,
+    config: &SupervisorConfig,
+    mut hook: Option<&mut dyn EnvHook>,
+) -> SupervisedRun {
+    let mut sup = RequestSupervisor::begin(app, env, strategy, config);
+    let mut out = SupervisedRun {
+        run: WorkloadRun {
+            completed: 0,
+            total: workload.len(),
+            failures: 0,
+            recoveries: 0,
+            survived: true,
+            last_failure: None,
+        },
+        watchdog_fires: 0,
+        breaker_trips: 0,
+        scrubs: 0,
+        shed: 0,
+        backoff_total: Duration::ZERO,
+    };
+    for (index, original) in workload.iter().enumerate() {
+        match sup.serve(app, env, original, strategy, config, &mut hook) {
+            ServeOutcome::Served { .. } => out.run.completed += 1,
+            ServeOutcome::Abandoned { .. } => {
+                out.run.survived = false;
+                break;
+            }
+            ServeOutcome::Degraded { .. } => {
+                // §7's survival criterion: shed work was requested and
+                // never executed, so the run is honestly not survived.
+                out.run.survived = false;
+                out.shed = workload.len() - index - 1;
+                break;
+            }
+            ServeOutcome::Shed => unreachable!("loop breaks at the degrading request"),
+        }
+    }
+    out.watchdog_fires = sup.watchdog_fires();
+    out.breaker_trips = sup.breaker_trips();
+    out.scrubs = sup.scrubs();
+    out.backoff_total = sup.backoff_total();
+    out.run.failures = sup.failures();
+    out.run.recoveries = sup.recoveries();
     if !out.run.survived {
         // Recovered transients are not "the final failure": a surviving
         // run's contract is that every request was eventually served, so
         // only a defeated run reports one.
-        out.run.last_failure = last_failure.map(|f| f.to_string());
+        out.run.last_failure = sup.last_failure.map(|f| f.to_string());
     }
     out
 }

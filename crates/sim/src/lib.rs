@@ -14,6 +14,9 @@
 //! - [`time`] — logical time ([`SimTime`], [`Duration`]) and the clock.
 //! - [`rng`] — SplitMix64 and xoshiro256\*\* deterministic PRNGs.
 //! - [`queue`] — the timestamped event queue with stable FIFO tie-breaking.
+//! - [`wheel`] — the hierarchical timing wheel: O(1) scheduling for the
+//!   traffic engine's million-event streams, same ordering contract as
+//!   [`queue`].
 //! - [`sched`] — a cooperative step scheduler with controllable
 //!   interleavings, used to reproduce race-condition faults.
 //! - [`trace`] — bounded in-memory trace ring for debugging experiments.
@@ -38,9 +41,11 @@ pub mod rng;
 pub mod sched;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use queue::EventQueue;
 pub use rng::{DetRng, SplitMix64, Xoshiro256StarStar};
 pub use sched::{Interleaver, StepOutcome, StepScheduler, Task, TaskId};
 pub use time::{Clock, Duration, SimTime};
 pub use trace::{Trace, TraceEntry};
+pub use wheel::TimingWheel;

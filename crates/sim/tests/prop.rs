@@ -5,7 +5,21 @@ use faultstudy_sim::rng::{DetRng, SplitMix64, Xoshiro256StarStar};
 use faultstudy_sim::sched::{Interleaver, StepOutcome, StepScheduler, Task};
 use faultstudy_sim::time::{Clock, Duration, SimTime};
 use faultstudy_sim::trace::Trace;
+use faultstudy_sim::wheel::TimingWheel;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Offsets that exercise every wheel regime: same-tick ties (0), level-0
+/// slots, mid-level cascades, and the far-future overflow ring beyond the
+/// ~69 s horizon.
+fn wheel_offset(selector: u8, raw: u64) -> u64 {
+    match selector % 4 {
+        0 => 0,
+        1 => raw % 4_096,
+        2 => raw % (1 << 30),
+        _ => raw % (1 << 38),
+    }
+}
 
 proptest! {
     /// SimTime/Duration arithmetic is consistent: (t + d) - t == d.
@@ -115,6 +129,71 @@ proptest! {
         let (total, report) = sched.run(10_000);
         prop_assert!(report.succeeded());
         prop_assert_eq!(total, u64::from(expected));
+    }
+
+    /// Differential check: for arbitrary schedules — same-tick ties,
+    /// near and far offsets, pops interleaved with schedules — the timing
+    /// wheel pops exactly what a `BTreeMap<(time, seq), _>` reference
+    /// pops, in the same order.
+    #[test]
+    fn wheel_matches_btreemap_reference(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), 0u8..4), 1..120),
+    ) {
+        let mut wheel: TimingWheel<u32> = TimingWheel::new();
+        let mut reference: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        // The schedule index doubles as the tie-break sequence number.
+        for (id, (selector, raw, pops)) in ops.into_iter().enumerate() {
+            let at = wheel.now().saturating_add(Duration::from_nanos(wheel_offset(selector, raw)));
+            wheel.schedule(at, id as u32);
+            reference.insert((at.as_nanos(), id as u64), id as u32);
+            for _ in 0..pops {
+                match (wheel.pop(), reference.pop_first()) {
+                    (Some((t, v)), Some(((rt, _), rv))) => {
+                        prop_assert_eq!(t.as_nanos(), rt, "pop time diverged");
+                        prop_assert_eq!(v, rv, "pop order diverged");
+                    }
+                    (None, None) => break,
+                    (w, r) => prop_assert!(false, "wheel {w:?} vs reference {r:?}"),
+                }
+            }
+        }
+        // Drain the rest: both must empty together, in the same order.
+        loop {
+            match (wheel.pop(), reference.pop_first()) {
+                (Some((t, v)), Some(((rt, _), rv))) => {
+                    prop_assert_eq!(t.as_nanos(), rt, "drain time diverged");
+                    prop_assert_eq!(v, rv, "drain order diverged");
+                }
+                (None, None) => break,
+                (w, r) => prop_assert!(false, "wheel {w:?} vs reference {r:?}"),
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Schedule-everything-then-drain yields a time-sorted, FIFO-stable
+    /// permutation of the input.
+    #[test]
+    fn wheel_drains_sorted_and_stable(
+        offsets in prop::collection::vec((any::<u8>(), any::<u64>()), 0..100),
+    ) {
+        let mut wheel: TimingWheel<usize> = TimingWheel::new();
+        let mut expected: Vec<(u64, usize)> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &(selector, raw))| (wheel_offset(selector, raw), i))
+            .collect();
+        for &(at, i) in &expected {
+            wheel.schedule(SimTime::from_nanos(at), i);
+        }
+        // Stable sort preserves schedule order for equal timestamps,
+        // which is exactly the wheel's tie-break contract.
+        expected.sort_by_key(|&(at, _)| at);
+        let mut drained = Vec::new();
+        while let Some((at, i)) = wheel.pop() {
+            drained.push((at.as_nanos(), i));
+        }
+        prop_assert_eq!(drained, expected);
     }
 
     /// The trace ring never exceeds its capacity and keeps the newest

@@ -1,0 +1,69 @@
+//! User sessions: a burst of requests with think time between them.
+//!
+//! A session is the closed-loop half of the traffic model: sessions
+//! *arrive* open-loop (the arrival process never waits for the server),
+//! but within a session the next request is issued only after the
+//! previous one completes plus an exponential think time — a user
+//! reading the page before the next click. Each session owns a
+//! `SplitMix64` seeded from the campaign's `split_seed` chain, so its
+//! think times and request-mix picks replay exactly.
+
+use faultstudy_sim::rng::{DetRng, SplitMix64};
+use faultstudy_sim::time::Duration;
+
+/// Live state of one user session, slab-allocated by the engine.
+#[derive(Debug)]
+pub struct Session {
+    /// Requests this session has yet to issue.
+    pub remaining: u32,
+    rng: SplitMix64,
+}
+
+impl Session {
+    /// A session that will issue `remaining` requests, with all of its
+    /// randomness derived from `seed`.
+    pub fn new(remaining: u32, seed: u64) -> Session {
+        Session { remaining, rng: SplitMix64::new(seed) }
+    }
+
+    /// Picks the next request from a mix of `len` prepared requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn pick(&mut self, len: usize) -> usize {
+        self.rng.below(len as u64) as usize
+    }
+
+    /// An exponential think time with the given mean; at least 1 ns so
+    /// a session always moves forward in time.
+    pub fn think(&mut self, mean: Duration) -> Duration {
+        let u = self.rng.unit();
+        let ns = -(1.0 - u).ln() * mean.as_nanos() as f64;
+        Duration::from_nanos((ns as u64).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_replay_from_their_seed() {
+        let mut a = Session::new(4, 99);
+        let mut b = Session::new(4, 99);
+        for _ in 0..4 {
+            assert_eq!(a.pick(16), b.pick(16));
+            assert_eq!(a.think(Duration::from_millis(200)), b.think(Duration::from_millis(200)));
+        }
+    }
+
+    #[test]
+    fn think_time_is_positive_with_roughly_the_requested_mean() {
+        let mut s = Session::new(1, 5);
+        let mean = Duration::from_millis(10);
+        let total: u64 = (0..10_000).map(|_| s.think(mean).as_nanos()).sum();
+        let avg = total as f64 / 10_000.0;
+        assert!((avg - 1e7).abs() < 0.1 * 1e7, "mean think {avg}");
+    }
+}

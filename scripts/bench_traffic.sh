@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Updates BENCH_traffic.json (simulated requests/sec of the open-loop
+# traffic campaign at 1..N worker threads). The file's requests/sec
+# trajectory is appended to, not overwritten: each run preserves the
+# prior `trajectory` entries and adds its own 1-thread rate, so the file
+# accumulates the throughput history across PRs. Before any timing the
+# bench asserts that the traffic report, its instrumented metrics
+# registry, and the rendered SLO table are byte-identical at 1/2/4
+# threads and across chunk sizes, and aborts on violation. Run from the
+# repo root:
+#
+#   sh scripts/bench_traffic.sh
+#
+# or via make: `make bench-traffic`. Override the campaign size with
+# BENCH_TRAFFIC_REQUESTS (default 1,000,000).
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_traffic -- BENCH_traffic.json

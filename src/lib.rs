@@ -21,6 +21,8 @@
 //! - [`harness`] — the experiment runner and per-class survival matrix.
 //! - [`obs`] — deterministic metrics: simulated-time histograms and spans.
 //! - [`report`] — table/figure rendering and the Lee–Iyer reconciliation.
+//! - [`traffic`] — deterministic open-loop traffic engine with per-request
+//!   SLO accounting.
 //!
 //! # Quickstart
 //!
@@ -47,3 +49,4 @@ pub use faultstudy_obs as obs;
 pub use faultstudy_recovery as recovery;
 pub use faultstudy_report as report;
 pub use faultstudy_sim as sim;
+pub use faultstudy_traffic as traffic;
