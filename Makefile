@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject bench-traffic verify fmt lint
+.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject bench-traffic bench-micro verify fmt lint
 
 build:
 	cargo build --release
@@ -27,6 +27,10 @@ bench-inject:
 # Writes BENCH_traffic.json: open-loop traffic engine requests/sec at 1..N threads.
 bench-traffic:
 	sh scripts/bench_traffic.sh
+
+# Writes BENCH_micro.json: microreboot campaign requests/sec + TTR ratio vs restart.
+bench-micro:
+	sh scripts/bench_micro.sh
 
 verify:
 	cargo run --release -p faultstudy-harness --bin faultstudy -- verify

@@ -2,6 +2,7 @@
 
 use faultstudy_core::taxonomy::AppKind;
 use faultstudy_env::{Environment, OwnerId};
+use faultstudy_micro::CrashOnly;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -226,6 +227,14 @@ pub trait Application {
     fn cold_start(&mut self, env: &mut Environment) {
         env.fds.close_all_of(self.owner());
         env.procs.kill_all_of(self.owner());
+    }
+
+    /// The application's crash-only component view, if it is partitioned
+    /// into microrebootable components (see [`faultstudy_micro`]). The
+    /// default has no partition, under which a microrebooting supervisor
+    /// degenerates to whole-process restart.
+    fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
+        None
     }
 }
 

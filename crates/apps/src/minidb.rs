@@ -16,6 +16,8 @@ use faultstudy_core::taxonomy::AppKind;
 use faultstudy_env::dns::Lookup;
 use faultstudy_env::fs::FsError;
 use faultstudy_env::{Environment, OwnerId};
+use faultstudy_micro::{ComponentDesc, CrashOnly, StateKind};
+use faultstudy_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -680,6 +682,98 @@ impl Application for MiniDb {
 
     fn benign_request(&self) -> Request {
         Request::new("PING")
+    }
+
+    fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
+        Some(self)
+    }
+}
+
+/// Component indices of the database's crash-only partition.
+const DB_EXECUTOR: usize = 0;
+const DB_PARSER: usize = 1;
+const DB_BUFFER_POOL: usize = 2;
+const DB_WAL: usize = 3;
+
+/// The database's component tree: the executor owns a connection parser, a
+/// buffer pool, and the write-ahead log. Tables (in state and in their
+/// `.dat` files) are durable ground truth no component crash may touch;
+/// the lock table and open connections are exactly the state a crash
+/// discards.
+static DB_COMPONENTS: [ComponentDesc; 4] = [
+    ComponentDesc {
+        name: "db-executor",
+        state_kind: StateKind::Volatile,
+        boot_cost: Duration::from_millis(35),
+        parent: None,
+    },
+    ComponentDesc {
+        name: "db-parser",
+        state_kind: StateKind::Volatile,
+        boot_cost: Duration::from_millis(10),
+        parent: Some(DB_EXECUTOR),
+    },
+    ComponentDesc {
+        name: "db-buffer-pool",
+        state_kind: StateKind::DurableSoft,
+        boot_cost: Duration::from_millis(25),
+        parent: Some(DB_EXECUTOR),
+    },
+    ComponentDesc {
+        name: "db-wal",
+        state_kind: StateKind::DurableHard,
+        boot_cost: Duration::from_millis(60),
+        parent: Some(DB_EXECUTOR),
+    },
+];
+
+impl CrashOnly for MiniDb {
+    fn components(&self) -> &'static [ComponentDesc] {
+        &DB_COMPONENTS
+    }
+
+    fn route(&self, body: &str) -> usize {
+        let body = body.trim();
+        if body.starts_with("CONNECT") || body == "PING" {
+            return DB_PARSER;
+        }
+        if body.starts_with("LOCK TABLES ") || body == "UNLOCK TABLES" {
+            return DB_BUFFER_POOL;
+        }
+        if body == "FLUSH TABLES" {
+            // Flushing persists table state: write-ahead-log territory.
+            return DB_WAL;
+        }
+        // Statements (SELECT/INSERT/UPDATE/DELETE/CREATE/OPTIMIZE),
+        // SHUTDOWN/ADMIN KILL races, PROBE, and anything unknown.
+        DB_EXECUTOR
+    }
+
+    fn crash_component(&mut self, index: usize, env: &mut Environment) {
+        match index {
+            DB_EXECUTOR => {
+                // In-flight statements die; their session locks die with
+                // them. Committed tables are durable and untouched.
+                self.state.locked.clear();
+                env.procs.kill_all_of(self.owner);
+            }
+            DB_PARSER => {
+                // Client connections (descriptors) die with the parser.
+                env.fds.close_all_of(self.owner);
+            }
+            DB_BUFFER_POOL => {
+                // Cached pages and the lock table are discarded; the `.dat`
+                // files rebuild the pool on demand.
+                self.state.locked.clear();
+            }
+            // Durable-hard: nothing may be discarded.
+            _ => {}
+        }
+    }
+
+    fn boot_component(&mut self, _index: usize, _env: &mut Environment) {
+        // Tables reload lazily from their data files; defects and the
+        // executed counter are durable and carry over.
     }
 }
 

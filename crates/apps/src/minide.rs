@@ -13,6 +13,8 @@ use crate::race::RaceGadget;
 use faultstudy_core::taxonomy::AppKind;
 use faultstudy_env::fs::FsError;
 use faultstudy_env::{Environment, OwnerId};
+use faultstudy_micro::{ComponentDesc, CrashOnly, StateKind};
+use faultstudy_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -284,6 +286,88 @@ impl Application for MiniDe {
         env.procs.kill_all_of(self.owner);
         // A restarted session re-reads the (possibly renamed) hostname.
         self.state.boot_hostname = env.host.hostname().to_owned();
+    }
+
+    fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
+        Some(self)
+    }
+}
+
+/// Component indices of the desktop's crash-only partition.
+const DE_EDITOR_BUFFER: usize = 0;
+const DE_PLUGIN_HOST: usize = 1;
+const DE_INDEX: usize = 2;
+
+/// The desktop's component tree. The editor buffer is the root *and*
+/// durable-hard: it holds session identity (the boot-time hostname that X
+/// authority files embed), which no reboot may regenerate — a component
+/// crash there escalates straight to a whole-process restart. Applets and
+/// sound utilities live in the plugin host, whose sockets and helper
+/// processes die with it; the file index rebuilds over the filesystem.
+static DE_COMPONENTS: [ComponentDesc; 3] = [
+    ComponentDesc {
+        name: "de-editor-buffer",
+        state_kind: StateKind::DurableHard,
+        boot_cost: Duration::from_millis(50),
+        parent: None,
+    },
+    ComponentDesc {
+        name: "de-plugin-host",
+        state_kind: StateKind::Volatile,
+        boot_cost: Duration::from_millis(20),
+        parent: Some(DE_EDITOR_BUFFER),
+    },
+    ComponentDesc {
+        name: "de-index",
+        state_kind: StateKind::DurableSoft,
+        boot_cost: Duration::from_millis(15),
+        parent: Some(DE_EDITOR_BUFFER),
+    },
+];
+
+impl CrashOnly for MiniDe {
+    fn components(&self) -> &'static [ComponentDesc] {
+        &DE_COMPONENTS
+    }
+
+    fn route(&self, body: &str) -> usize {
+        if body == "OPEN-DISPLAY" {
+            // Session identity: the hostname captured at boot.
+            return DE_EDITOR_BUFFER;
+        }
+        if body.starts_with("OPEN ")
+            || body.starts_with("EDIT-PROPS ")
+            || body.starts_with("FORMULA ")
+        {
+            return DE_INDEX;
+        }
+        // CLICK, PLAY-SOUND, LAUNCH, the applet races, PROBE, and anything
+        // unknown runs inside the plugin host.
+        DE_PLUGIN_HOST
+    }
+
+    fn crash_component(&mut self, index: usize, env: &mut Environment) {
+        match index {
+            DE_PLUGIN_HOST => {
+                // Sound-server sockets and helper processes die with the
+                // host — the leak gnome-edn-02 reports is volatile state.
+                env.fds.close_all_of(self.owner);
+                env.procs.kill_all_of(self.owner);
+            }
+            DE_INDEX => {
+                // Nothing in memory worth keeping: the index is a pure
+                // function of the filesystem.
+            }
+            // Durable-hard (editor buffer): nothing may be discarded, and
+            // in particular the boot-time hostname is NOT re-read — that
+            // reconstruction is application-specific cold-start knowledge.
+            _ => {}
+        }
+    }
+
+    fn boot_component(&mut self, _index: usize, _env: &mut Environment) {
+        // The index is rebuilt lazily on the next stat; the plugin host
+        // restarts its applets on demand.
     }
 }
 

@@ -16,6 +16,7 @@ use faultstudy_env::fs::FsError;
 use faultstudy_env::host::HardwareComponent;
 use faultstudy_env::network::NetError;
 use faultstudy_env::{Environment, OwnerId};
+use faultstudy_micro::{ComponentDesc, CrashOnly, StateKind};
 use faultstudy_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -480,6 +481,105 @@ impl Application for MiniWeb {
         // temp-file sequence; its served counter and defects carry over.
         self.state.leak_units = 0;
         self.state.cache_seq = 0;
+    }
+
+    fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
+        Some(self)
+    }
+}
+
+/// Component indices of the server's crash-only partition.
+const WEB_LISTENER: usize = 0;
+const WEB_WORKERS: usize = 1;
+const WEB_CACHE: usize = 2;
+const WEB_SESSIONS: usize = 3;
+
+/// The server's component tree: a listener owning a worker pool, a disk
+/// cache, and a session store. Everything the workers can lose (request
+/// scratch, leaked allocations, their descriptors and CGI children) is
+/// volatile; the cache's in-memory sequence is rebuilt over the durable
+/// cache files; the session store is the one place whose state no reboot
+/// may discard.
+static WEB_COMPONENTS: [ComponentDesc; 4] = [
+    ComponentDesc {
+        name: "web-listener",
+        state_kind: StateKind::Volatile,
+        boot_cost: Duration::from_millis(30),
+        parent: None,
+    },
+    ComponentDesc {
+        name: "web-worker-pool",
+        state_kind: StateKind::Volatile,
+        boot_cost: Duration::from_millis(20),
+        parent: Some(WEB_LISTENER),
+    },
+    ComponentDesc {
+        name: "web-cache",
+        state_kind: StateKind::DurableSoft,
+        boot_cost: Duration::from_millis(15),
+        parent: Some(WEB_LISTENER),
+    },
+    ComponentDesc {
+        name: "web-session-store",
+        state_kind: StateKind::DurableHard,
+        boot_cost: Duration::from_millis(40),
+        parent: Some(WEB_LISTENER),
+    },
+];
+
+impl CrashOnly for MiniWeb {
+    fn components(&self) -> &'static [ComponentDesc] {
+        &WEB_COMPONENTS
+    }
+
+    fn route(&self, body: &str) -> usize {
+        if let Some(path) = body.strip_prefix("GET ") {
+            if path == "/cached" {
+                return WEB_CACHE;
+            }
+            return WEB_WORKERS;
+        }
+        if body.starts_with("AUTH ") {
+            // Authentication checks credentials against the session store.
+            return WEB_SESSIONS;
+        }
+        if body.starts_with("KEEPALIVE ") || body == "BIND" || body == "HUP" {
+            return WEB_LISTENER;
+        }
+        // RESOLVE, SSL, SPAWN, PROBE, and anything unknown is worker work.
+        WEB_WORKERS
+    }
+
+    fn crash_component(&mut self, index: usize, env: &mut Environment) {
+        match index {
+            WEB_LISTENER => {
+                // Connections die with the listener: children it forked are
+                // reaped and the keep-alive accounting starts over.
+                env.procs.kill_all_of(self.owner);
+                self.state.keepalive_count = 0;
+            }
+            WEB_WORKERS => {
+                // The pool's descriptors, CGI children, and leaked
+                // allocations all die with the pool — exactly the volatile
+                // state a checkpoint-restoring recovery must preserve.
+                env.fds.close_all_of(self.owner);
+                env.procs.kill_all_of(self.owner);
+                self.state.leak_units = 0;
+            }
+            WEB_CACHE => {
+                // The in-memory sequence is discarded; cache files on disk
+                // are the durable ground truth it reboots over.
+                self.state.cache_seq = 0;
+            }
+            // Durable-hard: nothing may be discarded.
+            _ => {}
+        }
+    }
+
+    fn boot_component(&mut self, _index: usize, _env: &mut Environment) {
+        // Reconstruction is lazy: the cache re-derives its sequence on the
+        // next miss, the listener rebinds on the next BIND. Served counters
+        // and armed defects are durable and carry over.
     }
 }
 

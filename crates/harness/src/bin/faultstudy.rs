@@ -13,6 +13,7 @@
 //!   campaign   randomized (fault, strategy, seed) sampling in distribution
 //!   inject     plan-driven environment injection x strategy x scrub
 //!   traffic    open-loop traffic with per-request SLO accounting
+//!   micro      microreboot vs whole-process restart under traffic
 //!   metrics    deterministic observability: TTR histograms + stage timings
 //!   verify     CI self-check: exits non-zero if a guarantee fails
 //!   lee-iyer   the §7 reconciliation with \[Lee93\]
@@ -27,8 +28,8 @@ use faultstudy_core::taxonomy::AppKind;
 use faultstudy_core::timeline::{by_month, by_release};
 use faultstudy_corpus::paper_study;
 use faultstudy_harness::{
-    paper_scale_funnels_with, CampaignReport, CampaignSpec, InjectReport, InjectSpec, ParallelSpec,
-    RecoveryMatrix, TrafficReport, TrafficSpec,
+    paper_scale_funnels_with, CampaignReport, CampaignSpec, InjectReport, InjectSpec, MicroReport,
+    MicroSpec, ParallelSpec, RecoveryMatrix, TrafficReport, TrafficSpec,
 };
 use faultstudy_report::{
     render_discussion, render_release_figure, render_table, render_time_figure,
@@ -73,7 +74,7 @@ fn print_json<T: serde::Serialize>(what: &str, value: &T) -> bool {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|traffic|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--requests N] [--arrival poisson|bursty|diurnal] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|traffic|micro|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--requests N] [--arrival poisson|bursty|diurnal] [--json]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options {
@@ -143,6 +144,7 @@ fn main() -> ExitCode {
         "campaign" => campaign(&opts),
         "inject" => inject(&opts),
         "traffic" => traffic(&opts),
+        "micro" => micro(&opts),
         "metrics" => metrics(&opts),
         "verify" => verify(&opts),
         "all" => {
@@ -448,6 +450,22 @@ fn traffic(opts: &Options) -> bool {
     print!("{report}");
     let matrix = RecoveryMatrix::run(opts.seed);
     print!("{}", matrix.render_with_slo(&report));
+    true
+}
+
+/// The microreboot campaign: the same open-loop traffic served under
+/// whole-process restart and under crash-only component microreboot,
+/// reported per (fault class, mode) cell with time-to-recovery, plus the
+/// recovery matrix extended with the comparison column families.
+fn micro(opts: &Options) -> bool {
+    let spec = MicroSpec { seed: opts.seed, requests: opts.requests, arrival: opts.arrival };
+    let report = MicroReport::run_with(spec, opts.parallel);
+    if opts.json {
+        return print_json("micro report", &report);
+    }
+    print!("{report}");
+    let matrix = RecoveryMatrix::run(opts.seed);
+    print!("{}", matrix.render_with_micro(&report));
     true
 }
 

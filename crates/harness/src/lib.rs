@@ -12,6 +12,8 @@
 //! - [`funnel`] — the §4 selection funnels at paper scale.
 //! - [`traffic`] — open-loop traffic streams with per-request SLO
 //!   accounting under injection load.
+//! - [`micro`] — microreboot (crash-only component recovery) measured
+//!   against whole-process restart under the same traffic.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub mod expreport;
 pub mod funnel;
 pub mod inject;
 pub mod matrix;
+pub mod micro;
 pub mod traffic;
 pub mod workload;
 
@@ -50,4 +53,5 @@ pub use faultstudy_exec::ParallelSpec;
 pub use funnel::{paper_scale_funnels, paper_scale_funnels_instrumented, paper_scale_funnels_with};
 pub use inject::{InjectCell, InjectReport, InjectSpec};
 pub use matrix::RecoveryMatrix;
+pub use micro::{micro_plans, MicroCell, MicroReport, MicroSpec, RecoveryMode};
 pub use traffic::{TrafficCell, TrafficReport, TrafficSpec};

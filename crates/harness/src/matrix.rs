@@ -246,6 +246,60 @@ impl RecoveryMatrix {
         out
     }
 
+    /// Renders the matrix with the microreboot comparison appended: per
+    /// fault class, availability and median time-to-recovery under
+    /// whole-process restart versus crash-only microreboot from the same
+    /// open-loop traffic. The survival matrix measures what *generic*
+    /// recovery can do; this family measures what the one deliberately
+    /// application-aware axis — knowing which state a crash may discard —
+    /// buys on top.
+    pub fn render_with_micro(&self, micro: &crate::micro::MicroReport) -> String {
+        use crate::micro::RecoveryMode;
+        let mut out = self.to_string();
+        let _ = writeln!(
+            out,
+            "microreboot vs whole-process restart (open-loop traffic, {} requests):",
+            micro.spec.requests
+        );
+        let _ = write!(out, "{:<22}", "availability");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for mode in RecoveryMode::ALL {
+            let _ = write!(out, "{:<22}", mode.name());
+            for class in FaultClass::ALL {
+                let stats = micro.class_stats(class, mode);
+                if stats.offered == 0 {
+                    let _ = write!(out, " {:>14}", "-");
+                } else {
+                    let _ = write!(out, " {:>14}", format!("{:.2}%", 100.0 * stats.availability()));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:<22}", "ttr p50");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for mode in RecoveryMode::ALL {
+            let _ = write!(out, "{:<22}", mode.name());
+            for class in FaultClass::ALL {
+                match micro.class_ttr(class, mode).p50() {
+                    Some(nanos) => {
+                        let _ = write!(out, " {:>14}", Duration::from_nanos(nanos).to_string());
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
     /// Renders the matrix with an SLO-miss column family per fault class,
     /// taken from a traffic campaign over the same strategies: the
     /// fraction of offered requests that were dropped or answered over

@@ -1,0 +1,505 @@
+//! The microreboot campaign: crash-only component recovery measured
+//! against whole-process restart under open-loop traffic.
+//!
+//! The traffic campaign (see [`traffic`](crate::traffic)) asks what each
+//! *generic* strategy delivers under load. This campaign isolates the one
+//! design axis the paper's §2 contract forbids generic recovery from
+//! using: application knowledge of which state is safe to discard. Each
+//! `(plan, mode, application)` unit offers the same open-loop stream
+//! twice — once under [`RestartRetry`] (kill the process, restore the
+//! checkpoint byte-for-byte) and once under [`MicroReboot`] (crash and
+//! reboot only the component the failing request routed to) — and
+//! ledgers availability, requests lost, and time-to-recovery per cell.
+//!
+//! The plan suite is the traffic campaign's nine standard plans plus a
+//! tenth, `state-leak`: no environment events at all, just MiniWeb's
+//! checkpointed allocation leak (`apache-edn-01`) riding in the mix. It
+//! is the microreboot thesis in one cell — the generic checkpoint
+//! faithfully preserves the poisoned counter and crashes forever, while
+//! the crash-only worker pool discards it and keeps serving.
+//!
+//! Determinism: unit seeds come from the batched `split_seed` stream,
+//! per-unit arrival/session/backoff seeds derive exactly as in the
+//! traffic campaign, and units fold in index order through
+//! [`run_chunk_fold`] — reports and registries are byte-identical at any
+//! thread count and chunk size.
+
+use crate::experiment::standard_env;
+use crate::traffic::{traffic_config, traffic_mix};
+use faultstudy_apps::spawn_app;
+use faultstudy_core::taxonomy::{AppKind, FaultClass};
+use faultstudy_exec::{run_chunk_fold, ParallelSpec};
+use faultstudy_inject::{standard_plans, InjectionPlan, Injector};
+use faultstudy_obs::{Histogram, MetricsRegistry};
+use faultstudy_recovery::{MicroReboot, RecoveryStrategy, RestartRetry};
+use faultstudy_sim::rng::{split_seed, SplitSeedStream};
+use faultstudy_traffic::{run_open_loop, ArrivalKind, TrafficParams, UnitStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Retry budget of the process-restart mode, matching the recovery
+/// matrix's [`RestartRetry`] configuration.
+const RESTART_RETRIES: u32 = 3;
+
+/// Retry budget of the microreboot mode. Deliberately larger than
+/// [`RESTART_RETRIES`]: budgets here are *time-equivalent*, not
+/// attempt-equivalent. A process restart charges ~1 s of simulated
+/// recovery latency per attempt where a component reboot charges tens of
+/// milliseconds, so eight microreboot attempts still spend well under one
+/// process-restart attempt's worth of downtime.
+const MICRO_RETRIES: u32 = 8;
+
+/// Configuration of a microreboot campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroSpec {
+    /// Master seed; the campaign is a pure function of it.
+    pub seed: u64,
+    /// Total requests offered across the whole campaign, spread evenly
+    /// over the units (earlier units absorb the remainder).
+    pub requests: u64,
+    /// Arrival-process family for every unit.
+    pub arrival: ArrivalKind,
+}
+
+impl Default for MicroSpec {
+    fn default() -> Self {
+        MicroSpec { seed: 1, requests: 20_000, arrival: ArrivalKind::Poisson }
+    }
+}
+
+/// The recovery mode of one campaign unit — the comparison axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Whole-process restart from the last checkpoint ([`RestartRetry`]).
+    Restart,
+    /// Crash-only component reboot with tree escalation ([`MicroReboot`]).
+    Micro,
+}
+
+impl RecoveryMode {
+    /// Both modes, in enumeration order.
+    pub const ALL: [RecoveryMode; 2] = [RecoveryMode::Restart, RecoveryMode::Micro];
+
+    /// The mode's strategy name as it appears in metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryMode::Restart => "restart",
+            RecoveryMode::Micro => "microreboot",
+        }
+    }
+
+    /// Builds the mode's strategy for one unit.
+    fn build(self, unit_seed: u64) -> Box<dyn RecoveryStrategy> {
+        match self {
+            RecoveryMode::Restart => Box::new(RestartRetry::new(RESTART_RETRIES)),
+            RecoveryMode::Micro => {
+                Box::new(MicroReboot::new(MICRO_RETRIES, split_seed(unit_seed, 4)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for RecoveryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The campaign's plan suite: the nine standard injection plans plus the
+/// `state-leak` plan — no environment events, only MiniWeb's checkpointed
+/// allocation leak (`apache-edn-01`) armed and triggered by the mix. The
+/// poisoned state lives *inside* the checkpoint, which is exactly the
+/// case §2's preserve-all-state contract cannot recover and a crash-only
+/// partition can.
+pub fn micro_plans(seed: u64) -> Vec<InjectionPlan> {
+    let mut plans = standard_plans(seed);
+    plans.push(InjectionPlan {
+        name: "state-leak".to_owned(),
+        class: FaultClass::EnvDependentNonTransient,
+        companion_defect: "apache-edn-01".to_owned(),
+        events: Vec::new(),
+    });
+    plans
+}
+
+/// One `(plan, mode, application)` unit of the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroCell {
+    /// Application under load.
+    pub app: AppKind,
+    /// Injection plan name.
+    pub plan: String,
+    /// The paper class of the injected condition.
+    pub class: FaultClass,
+    /// Recovery mode under test.
+    pub mode: RecoveryMode,
+    /// Injection events that came due and were applied.
+    pub injected: usize,
+    /// The unit's request ledger.
+    pub stats: UnitStats,
+    /// Time-to-recovery over the unit's recovered requests (simulated).
+    pub ttr: Histogram,
+}
+
+/// Aggregate of one microreboot campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroReport {
+    /// The spec that produced this report.
+    pub spec: MicroSpec,
+    /// Every unit, in `(plan, mode, app)` enumeration order.
+    pub cells: Vec<MicroCell>,
+}
+
+/// One campaign unit: fresh environment and application, the plan's
+/// injector on the pre-attempt hook, and an open-loop request stream
+/// under the unit's recovery mode.
+///
+/// The environment's metrics sink is *always* enabled here — the cell's
+/// TTR histogram comes from the supervisor's `recovery.ttr` spans — so
+/// the plain and instrumented campaigns run the very same simulation and
+/// produce identical reports.
+fn run_unit(
+    plan: &InjectionPlan,
+    mode: RecoveryMode,
+    app_kind: AppKind,
+    requests: u64,
+    arrival: ArrivalKind,
+    unit_seed: u64,
+    instrumented: bool,
+) -> (MicroCell, Option<MetricsRegistry>) {
+    let mut env = standard_env(unit_seed, true);
+    let mut app = spawn_app(app_kind, &mut env);
+    if app_kind == AppKind::Apache {
+        app.arm_defect(&plan.companion_defect)
+            .expect("every plan's companion defect arms in MiniWeb");
+    }
+    let mix = traffic_mix(app.as_ref(), app_kind, plan);
+    let mut injector = Injector::new(plan, &mut env);
+    let mut strat = mode.build(unit_seed);
+    let config = traffic_config(split_seed(unit_seed, 1));
+    let params = TrafficParams::standard(arrival, requests);
+    let stats = run_open_loop(
+        app.as_mut(),
+        &mut env,
+        strat.as_mut(),
+        &config,
+        Some(&mut injector),
+        &mix,
+        &params,
+        split_seed(unit_seed, 2),
+        split_seed(unit_seed, 3),
+    );
+    let registry = env.metrics.take().expect("metrics were enabled");
+    let ttr = registry.histogram("recovery.ttr", mode.name()).cloned().unwrap_or_default();
+    let cell = MicroCell {
+        app: app_kind,
+        plan: plan.name.clone(),
+        class: plan.class,
+        mode,
+        injected: injector.applied(),
+        stats,
+        ttr,
+    };
+    let registry = (instrumented && !registry.is_empty()).then_some(registry);
+    (cell, registry)
+}
+
+/// Ledgers a finished unit into the campaign registry under its
+/// `<class>/<mode>` cell label.
+fn ledger_unit(registry: &mut MetricsRegistry, cell: &MicroCell) {
+    let label = format!("{}/{}", cell.class.short(), cell.mode.name());
+    let s = &cell.stats;
+    registry.incr("micro.offered", &label, s.offered);
+    registry.incr("micro.ok", &label, s.ok);
+    registry.incr("micro.denied", &label, s.denied);
+    registry.incr("micro.dropped", &label, s.dropped);
+    registry.incr("micro.slo.violations", &label, s.slo_violations);
+    registry.incr("micro.sim_nanos", &label, s.sim_nanos);
+    registry.merge_histogram("micro.latency", &label, s.latency.clone());
+    registry.merge_histogram("micro.ttr.class", &label, cell.ttr.clone());
+}
+
+/// Units per campaign: every plan × mode × application.
+fn unit_count(plans: usize) -> usize {
+    plans * RecoveryMode::ALL.len() * AppKind::ALL.len()
+}
+
+impl MicroReport {
+    /// Runs the campaign with the host's available parallelism.
+    pub fn run(spec: MicroSpec) -> MicroReport {
+        Self::run_with(spec, ParallelSpec::default())
+    }
+
+    /// Runs the campaign on `parallel` worker threads.
+    pub fn run_with(spec: MicroSpec, parallel: ParallelSpec) -> MicroReport {
+        Self::run_units(spec, parallel, false).0
+    }
+
+    /// Runs the campaign with the per-unit registries merged and the
+    /// per-cell ledgers (`micro.offered`, `micro.ok`, `micro.denied`,
+    /// `micro.dropped`, `micro.slo.violations`, `micro.sim_nanos`,
+    /// `micro.latency`, `micro.ttr.class`) added, returning the registry
+    /// alongside the (unchanged) report. The merged registry also carries
+    /// everything the units' environments recorded: the microreboot
+    /// strategy's per-component counters (`micro.reboot`,
+    /// `micro.reboot.subtree`, `micro.reboot.process`, `micro.lost`) and
+    /// per-component TTR spans (`micro.ttr`), supervisor hardening
+    /// counters, and injector applications. Registries merge in
+    /// unit-index order, so the result is byte-identical at any thread
+    /// count.
+    pub fn run_instrumented(
+        spec: MicroSpec,
+        parallel: ParallelSpec,
+    ) -> (MicroReport, MetricsRegistry) {
+        Self::run_units(spec, parallel, true)
+    }
+
+    fn run_units(
+        spec: MicroSpec,
+        parallel: ParallelSpec,
+        instrumented: bool,
+    ) -> (MicroReport, MetricsRegistry) {
+        struct Acc {
+            cells: Vec<MicroCell>,
+            registry: MetricsRegistry,
+        }
+        let plans = micro_plans(spec.seed);
+        let units = unit_count(plans.len());
+        let per_app = AppKind::ALL.len();
+        let per_plan = RecoveryMode::ALL.len() * per_app;
+        let base_requests = spec.requests / units as u64;
+        let remainder = spec.requests % units as u64;
+        let acc = run_chunk_fold(
+            units,
+            parallel,
+            || Acc { cells: Vec::new(), registry: MetricsRegistry::new() },
+            |range, acc: &mut Acc| {
+                let mut seeds = SplitSeedStream::new(spec.seed, range.start as u64);
+                for index in range {
+                    let plan = &plans[index / per_plan];
+                    let mode = RecoveryMode::ALL[(index % per_plan) / per_app];
+                    let app_kind = AppKind::ALL[index % per_app];
+                    let requests = base_requests + u64::from((index as u64) < remainder);
+                    let (cell, metrics) = run_unit(
+                        plan,
+                        mode,
+                        app_kind,
+                        requests,
+                        spec.arrival,
+                        seeds.next_seed(),
+                        instrumented,
+                    );
+                    if let Some(reg) = &metrics {
+                        acc.registry.merge_from(reg);
+                    }
+                    if instrumented {
+                        ledger_unit(&mut acc.registry, &cell);
+                    }
+                    acc.cells.push(cell);
+                }
+            },
+            |acc, later| {
+                acc.cells.extend(later.cells);
+                acc.registry.merge_from(&later.registry);
+            },
+        );
+        (MicroReport { spec, cells: acc.cells }, acc.registry)
+    }
+
+    /// The unit for `(plan, mode, app)`, if the plan exists.
+    pub fn cell(&self, plan: &str, mode: RecoveryMode, app: AppKind) -> Option<&MicroCell> {
+        self.cells.iter().find(|c| c.plan == plan && c.mode == mode && c.app == app)
+    }
+
+    /// The folded ledger of every unit of `class` under `mode`, across
+    /// all plans and applications.
+    pub fn class_stats(&self, class: FaultClass, mode: RecoveryMode) -> UnitStats {
+        let mut total = UnitStats::default();
+        for cell in &self.cells {
+            if cell.class == class && cell.mode == mode {
+                total.absorb(&cell.stats);
+            }
+        }
+        total
+    }
+
+    /// The merged time-to-recovery histogram of every unit of `class`
+    /// under `mode`.
+    pub fn class_ttr(&self, class: FaultClass, mode: RecoveryMode) -> Histogram {
+        let mut total = Histogram::new();
+        for cell in &self.cells {
+            if cell.class == class && cell.mode == mode {
+                total.merge_from(&cell.ttr);
+            }
+        }
+        total
+    }
+
+    /// The folded ledger of the whole campaign.
+    pub fn totals(&self) -> UnitStats {
+        let mut total = UnitStats::default();
+        for cell in &self.cells {
+            total.absorb(&cell.stats);
+        }
+        total
+    }
+
+    /// Fraction of offered requests in `(class, mode)` that missed the
+    /// SLO — violations plus drops over offered, in [0, 1].
+    pub fn slo_miss_rate(&self, class: FaultClass, mode: RecoveryMode) -> f64 {
+        let stats = self.class_stats(class, mode);
+        if stats.offered == 0 {
+            return 0.0;
+        }
+        (stats.slo_violations + stats.dropped) as f64 / stats.offered as f64
+    }
+}
+
+/// Nanoseconds rendered as fractional milliseconds for the tables.
+fn ms(nanos: Option<u64>) -> f64 {
+    nanos.unwrap_or(0) as f64 / 1e6
+}
+
+impl fmt::Display for MicroReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Microreboot campaign: {} requests offered over {} units ({} arrivals, seed {})",
+            self.spec.requests,
+            self.cells.len(),
+            self.spec.arrival.name(),
+            self.spec.seed
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:<12} {:>9} {:>7} {:>9} {:>11} {:>11} {:>7}",
+            "class", "mode", "offered", "avail%", "dropped", "ttr p50 ms", "ttr p99 ms", "viol%"
+        )?;
+        for class in FaultClass::ALL {
+            for mode in RecoveryMode::ALL {
+                let s = self.class_stats(class, mode);
+                if s.offered == 0 {
+                    continue;
+                }
+                let ttr = self.class_ttr(class, mode);
+                writeln!(
+                    f,
+                    "  {:<12} {:<12} {:>9} {:>7.2} {:>9} {:>11.2} {:>11.2} {:>7.2}",
+                    class.short(),
+                    mode.name(),
+                    s.offered,
+                    100.0 * s.availability(),
+                    s.dropped,
+                    ms(ttr.p50()),
+                    ms(ttr.p99()),
+                    100.0 * self.slo_miss_rate(class, mode),
+                )?;
+            }
+        }
+        let t = self.totals();
+        writeln!(
+            f,
+            "  total: {} offered, {} answered ({:.2}%), {} dropped, {} SLO violations",
+            t.offered,
+            t.answered(),
+            100.0 * t.availability(),
+            t.dropped,
+            t.slo_violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(seed: u64) -> MicroSpec {
+        // 3600 / 60 units = 60 requests per unit, exactly.
+        MicroSpec { seed, requests: 3_600, arrival: ArrivalKind::Poisson }
+    }
+
+    #[test]
+    fn campaign_enumerates_every_plan_mode_app() {
+        let report = MicroReport::run(small_spec(1));
+        assert_eq!(report.cells.len(), 10 * 2 * 3);
+        assert_eq!(report.totals().offered, 3_600);
+        assert!(report.cells.iter().all(|c| c.stats.offered == 60));
+        // The tenth plan exists in both modes on every app.
+        for mode in RecoveryMode::ALL {
+            for app in AppKind::ALL {
+                assert!(report.cell("state-leak", mode, app).is_some(), "{mode} {app:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reports_are_reproducible_and_thread_invariant() {
+        let spec = small_spec(7);
+        let reference = MicroReport::run_with(spec, ParallelSpec::threads(1));
+        for threads in [2usize, 4] {
+            let report = MicroReport::run_with(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, reference, "{threads} threads");
+        }
+        let chunked = MicroReport::run_with(spec, ParallelSpec::threads(2).with_chunk(7));
+        assert_eq!(chunked, reference);
+    }
+
+    #[test]
+    fn state_leak_recovers_under_microreboot_and_defeats_restart() {
+        let report = MicroReport::run(small_spec(1));
+        let restart = report.cell("state-leak", RecoveryMode::Restart, AppKind::Apache).unwrap();
+        let micro = report.cell("state-leak", RecoveryMode::Micro, AppKind::Apache).unwrap();
+        // The checkpoint preserves the leaked allocations, so the generic
+        // restart replays the crash until the retry budget runs out.
+        assert!(restart.stats.dropped > 0, "restart must keep dropping the leak trigger");
+        // The crash-only worker pool discards the leak and keeps serving.
+        assert_eq!(micro.stats.dropped, 0, "microreboot must not lose a single request");
+        assert!(micro.stats.availability() > restart.stats.availability());
+    }
+
+    #[test]
+    fn instrumented_campaign_reproduces_the_plain_report() {
+        let spec = small_spec(5);
+        let plain = MicroReport::run(spec);
+        let (report, registry) = MicroReport::run_instrumented(spec, ParallelSpec::default());
+        assert_eq!(report, plain, "instrumentation must not perturb the campaign");
+        let mut offered = 0;
+        for class in FaultClass::ALL {
+            for mode in RecoveryMode::ALL {
+                let label = format!("{}/{}", class.short(), mode.name());
+                offered += registry.counter("micro.offered", &label);
+            }
+        }
+        assert_eq!(offered, report.totals().offered);
+        // The microreboot strategy's own counters surfaced in the merge.
+        let reboots: u64 = registry
+            .counters()
+            .filter(|(k, _)| k.starts_with("micro.reboot{"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(reboots > 0, "microreboot units must perform component reboots");
+    }
+
+    #[test]
+    fn instrumented_registry_is_identical_across_thread_counts() {
+        let spec = small_spec(2);
+        let (ref_report, ref_registry) =
+            MicroReport::run_instrumented(spec, ParallelSpec::threads(1));
+        for threads in [2usize, 4] {
+            let (report, registry) =
+                MicroReport::run_instrumented(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, ref_report, "{threads} threads");
+            assert_eq!(registry, ref_registry, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn display_renders_the_comparison_table() {
+        let report = MicroReport::run(small_spec(4));
+        let text = report.to_string();
+        assert!(text.contains("ttr p50 ms"));
+        assert!(text.contains("microreboot"));
+        assert!(text.contains("restart"));
+        assert!(text.contains("total:"));
+    }
+}

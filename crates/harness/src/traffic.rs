@@ -89,7 +89,7 @@ fn unit_count(plans: usize) -> usize {
 /// is disabled: an open-loop stream must keep attempting requests so the
 /// ledger reflects every strategy's steady-state behaviour, not a single
 /// trip to degraded mode.
-fn traffic_config(backoff_seed: u64) -> SupervisorConfig {
+pub(crate) fn traffic_config(backoff_seed: u64) -> SupervisorConfig {
     SupervisorConfig {
         watchdog: Some(Duration::from_secs(4)),
         backoff: BackoffPolicy::new(
@@ -113,7 +113,11 @@ fn traffic_config(backoff_seed: u64) -> SupervisorConfig {
 /// its triggering request rides in the mix — the fault under study is
 /// *part of the traffic*, exactly the paper's "users do not generously
 /// avoid the trigger" assumption.
-fn traffic_mix(app: &dyn Application, kind: AppKind, plan: &InjectionPlan) -> Vec<Request> {
+pub(crate) fn traffic_mix(
+    app: &dyn Application,
+    kind: AppKind,
+    plan: &InjectionPlan,
+) -> Vec<Request> {
     match kind {
         AppKind::Apache => {
             let trigger = app

@@ -30,6 +30,8 @@
 //!   environment scrubbing.
 //! - [`backoff`] — deterministic capped exponential backoff with jitter.
 //! - [`breaker`] — the per-strategy circuit breaker.
+//! - [`tree`] — microreboot: crash-only component recovery over a
+//!   per-component restart tree with breaker-driven escalation.
 //! - [`thread_pair`] — a real-thread process-pair demonstration on
 //!   crossbeam channels.
 
@@ -47,6 +49,7 @@ pub mod rollback;
 pub mod strategy;
 pub mod supervisor;
 pub mod thread_pair;
+pub mod tree;
 
 pub use app_specific::AppSpecific;
 pub use backoff::BackoffPolicy;
@@ -61,3 +64,4 @@ pub use supervisor::{
     run_workload, run_workload_supervised, EnvHook, RequestSupervisor, ServeOutcome, SupervisedRun,
     SupervisorConfig, WorkloadRun,
 };
+pub use tree::{MicroReboot, RebootScope, RestartTree};

@@ -39,6 +39,23 @@ pub trait RecoveryStrategy: fmt::Debug {
         env: &mut Environment,
         attempt: u32,
     ) -> bool;
+
+    /// Request-aware variant of [`RecoveryStrategy::on_failure`]: the
+    /// supervisor calls this one, passing the request whose attempt
+    /// failed. Strategies that scope their recovery to part of the
+    /// application (microreboot routes the failure to a component)
+    /// override this; everything else ignores the request via the default
+    /// delegation.
+    fn on_failure_for(
+        &mut self,
+        req: &Request,
+        app: &mut dyn Application,
+        env: &mut Environment,
+        attempt: u32,
+    ) -> bool {
+        let _ = req;
+        self.on_failure(app, env, attempt)
+    }
 }
 
 /// The baseline: no recovery at all — the first failure is fatal.

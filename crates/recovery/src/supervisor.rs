@@ -290,7 +290,7 @@ impl RequestSupervisor {
                             env.metrics.incr("supervisor.watchdog", strategy.name(), 1);
                         }
                     }
-                    if !strategy.on_failure(app, env, attempt) {
+                    if !strategy.on_failure_for(req, app, env, attempt) {
                         return ServeOutcome::Abandoned { failed_attempts: attempt };
                     }
                     self.recoveries += 1;

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Updates BENCH_micro.json (simulated requests/sec of the microreboot
+# campaign at 1..N worker threads, plus the microreboot-vs-restart TTR
+# ratio). The file's trajectory is appended to, not overwritten: each run
+# preserves the prior `trajectory` entries and adds its own 1-thread rate
+# and TTR ratio, so the file accumulates both histories across PRs.
+# Before any timing the bench asserts that the micro report, its
+# instrumented metrics registry, and the rendered comparison table are
+# byte-identical at 1/2/4 threads and across chunk sizes, and aborts on
+# violation. Run from the repo root:
+#
+#   sh scripts/bench_micro.sh
+#
+# or via make: `make bench-micro`. Override the campaign size with
+# BENCH_MICRO_REQUESTS (default 600,000).
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_micro -- BENCH_micro.json

@@ -23,6 +23,8 @@
 //! - [`report`] — table/figure rendering and the Lee–Iyer reconciliation.
 //! - [`traffic`] — deterministic open-loop traffic engine with per-request
 //!   SLO accounting.
+//! - [`micro`] — crash-only component model: state-kind taxonomy and the
+//!   crash/boot contract behind microreboot recovery.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use faultstudy_env as env;
 pub use faultstudy_exec as exec;
 pub use faultstudy_harness as harness;
 pub use faultstudy_inject as inject;
+pub use faultstudy_micro as micro;
 pub use faultstudy_mining as mining;
 pub use faultstudy_obs as obs;
 pub use faultstudy_recovery as recovery;

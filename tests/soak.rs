@@ -111,6 +111,42 @@ fn million_sample_streaming_campaign_holds_constant_state() {
     }
 }
 
+/// The microreboot campaign at stress scale: a million requests in
+/// release mode (scaled down under debug assertions), asserting the
+/// constant-state contract — the campaign aggregate is the
+/// (plan, mode, app) cross product plus one bounded histogram per cell,
+/// so its shape must not grow with the request count, no matter how many
+/// component reboots the stream provokes.
+#[test]
+fn million_request_microreboot_campaign_holds_constant_state() {
+    use faultstudy::harness::micro::{MicroReport, MicroSpec, RecoveryMode};
+    use faultstudy::traffic::ArrivalKind;
+
+    const REQUESTS: u64 = if cfg!(debug_assertions) { 60_000 } else { 1_000_000 };
+    let spec = |requests| MicroSpec { seed: 2000, requests, arrival: ArrivalKind::Poisson };
+    let small = MicroReport::run_with(spec(REQUESTS / 10), ParallelSpec::AUTO);
+    let big = MicroReport::run_with(spec(REQUESTS), ParallelSpec::AUTO);
+
+    // 10x the requests, identical aggregate shape.
+    assert_eq!(big.cells.len(), small.cells.len(), "cell count must not scale with load");
+    assert_eq!(big.totals().offered, REQUESTS, "every offered request is accounted");
+
+    // The microreboot contract holds at stress scale: the checkpointed
+    // leak still defeats restart and still costs microreboot nothing,
+    // and component-scoped recovery keeps its transient-TTR edge.
+    let restart = big.cell("state-leak", RecoveryMode::Restart, AppKind::Apache).unwrap();
+    let micro = big.cell("state-leak", RecoveryMode::Micro, AppKind::Apache).unwrap();
+    assert!(restart.stats.dropped > 0, "the leak must keep defeating generic restart");
+    assert_eq!(micro.stats.dropped, 0, "microreboot must absorb every leak crash");
+    let class = FaultClass::EnvDependentTransient;
+    let micro_ttr = big.class_ttr(class, RecoveryMode::Micro).p50().expect("recoveries");
+    let restart_ttr = big.class_ttr(class, RecoveryMode::Restart).p50().expect("recoveries");
+    assert!(
+        micro_ttr < restart_ttr,
+        "median transient TTR: micro {micro_ttr}ns !< restart {restart_ttr}ns"
+    );
+}
+
 #[test]
 fn injected_but_untriggered_fault_is_latent() {
     // A defect that never meets its trigger does not perturb the workload:
