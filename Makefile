@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject bench-traffic bench-micro verify fmt lint
+.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject bench-traffic bench-micro bench-oblivious verify fmt lint
 
 build:
 	cargo build --release
@@ -31,6 +31,10 @@ bench-traffic:
 # Writes BENCH_micro.json: microreboot campaign requests/sec + TTR ratio vs restart.
 bench-micro:
 	sh scripts/bench_micro.sh
+
+# Writes BENCH_oblivious.json: oblivious campaign requests/sec + EI rescue ratio.
+bench-oblivious:
+	sh scripts/bench_oblivious.sh
 
 verify:
 	cargo run --release -p faultstudy-harness --bin faultstudy -- verify

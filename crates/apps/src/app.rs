@@ -236,6 +236,21 @@ pub trait Application {
     fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
         None
     }
+
+    /// The application's correctness oracle: checks every application
+    /// invariant that must hold *between* requests against the current
+    /// state and environment, returning one description per violation (an
+    /// empty vector means the state is consistent). The supervisor
+    /// evaluates this after every recovery so a campaign can report the
+    /// *silent-wrong-answer* cost of a strategy — an oblivious rescue that
+    /// keeps serving from corrupt state shows up here, not in availability.
+    ///
+    /// The oracle must be read-only and must never consume simulated time;
+    /// the default knows no invariants and reports none.
+    fn check_oracle(&self, env: &Environment) -> Vec<String> {
+        let _ = env;
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -687,6 +687,43 @@ impl Application for MiniDb {
     fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
         Some(self)
     }
+
+    fn check_oracle(&self, env: &Environment) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (name, table) in &self.state.tables {
+            // Durable-row invariant: every committed row was appended to the
+            // table's data file before it entered memory, so the file must
+            // hold at least ROW_BYTES per row. A lower bound, not equality:
+            // injections legitimately grow the file (filled disk, size-limit
+            // preconditions) without adding rows.
+            let need = ROW_BYTES * table.rows.len() as u64;
+            match env.fs.stat(&format!("minidb/{name}.dat")) {
+                None => violations
+                    .push(format!("table {name}: in-memory rows but the data file is gone")),
+                Some(meta) if meta.size < need => violations.push(format!(
+                    "table {name}: {} rows need {need} durable bytes, file has {}",
+                    table.rows.len(),
+                    meta.size
+                )),
+                Some(_) => {}
+            }
+            if table.rows.iter().any(|r| r.len() != table.columns.len()) {
+                violations.push(format!(
+                    "table {name}: row width disagrees with its {} columns",
+                    table.columns.len()
+                ));
+            }
+            if table.indexed.is_some_and(|ci| ci >= table.columns.len()) {
+                violations.push(format!("table {name}: index points past the last column"));
+            }
+        }
+        for name in &self.state.locked {
+            if !self.state.tables.contains_key(name) {
+                violations.push(format!("lock held on nonexistent table {name}"));
+            }
+        }
+        violations
+    }
 }
 
 /// Component indices of the database's crash-only partition.
@@ -1075,6 +1112,45 @@ mod tests {
             assert!(db.trigger_request(f.slug()).is_some(), "{}", f.slug());
         }
         assert!(db.trigger_request("apache-ei-01").is_none());
+    }
+
+    #[test]
+    fn oracle_is_silent_on_consistent_state() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        run(&mut db, &mut env, "INSERT INTO t VALUES (1, 10)").unwrap();
+        run(&mut db, &mut env, "LOCK TABLES t").unwrap();
+        assert!(db.check_oracle(&env).is_empty());
+    }
+
+    #[test]
+    fn oracle_catches_rows_without_durable_backing() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        run(&mut db, &mut env, "INSERT INTO t VALUES (1, 10)").unwrap();
+        env.fs.remove("minidb/t.dat").unwrap();
+        let violations = db.check_oracle(&env);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("data file is gone"), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_catches_locks_on_dropped_tables() {
+        let (mut env, mut db) = setup();
+        run(&mut db, &mut env, "CREATE TABLE t (k, v)").unwrap();
+        run(&mut db, &mut env, "LOCK TABLES t").unwrap();
+        db.state.tables.remove("t");
+        let violations = db.check_oracle(&env);
+        assert!(violations.iter().any(|v| v.contains("nonexistent table")), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_tolerates_injection_grown_files() {
+        // mysql-edn-03 grows the data file to the per-file limit; a durable
+        // surplus is not corruption, only a deficit is.
+        let (mut env, mut db) = setup();
+        db.inject("mysql-edn-03", &mut env).unwrap();
+        assert!(db.check_oracle(&env).is_empty());
     }
 
     #[test]

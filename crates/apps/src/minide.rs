@@ -291,6 +291,27 @@ impl Application for MiniDe {
     fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
         Some(self)
     }
+
+    fn check_oracle(&self, env: &Environment) -> Vec<String> {
+        let mut violations = Vec::new();
+        // Buffer/index agreement: the editor buffer's session identity must
+        // exist — X authority and session files embed the boot hostname, so
+        // an empty one means the durable-hard buffer lost state it may
+        // never regenerate.
+        if self.state.boot_hostname.is_empty() {
+            violations.push("editor buffer lost its session identity (empty boot hostname)".into());
+        } else if env.host.hostname() != self.state.boot_hostname && !self.bug("gnome-edn-01") {
+            // A divergence between the buffer's identity and the host index
+            // is only explainable by the known rename defect; without it
+            // armed, the session silently drifted from its environment.
+            violations.push(format!(
+                "session bound to {} but the host index says {}",
+                self.state.boot_hostname,
+                env.host.hostname()
+            ));
+        }
+        violations
+    }
 }
 
 /// Component indices of the desktop's crash-only partition.
@@ -526,5 +547,32 @@ mod tests {
         de.inject("gnome-edn-01", &mut env).unwrap();
         let req = de.trigger_request("gnome-edn-01").unwrap();
         assert!(de.handle(&req, &mut env).is_err(), "restored state holds desk1");
+    }
+
+    #[test]
+    fn oracle_is_silent_on_a_healthy_session() {
+        let (mut env, mut de) = setup();
+        de.handle(&Request::new("OPEN-DISPLAY"), &mut env).unwrap();
+        assert!(de.check_oracle(&env).is_empty());
+    }
+
+    #[test]
+    fn oracle_catches_an_unexplained_hostname_drift() {
+        let (mut env, de) = setup();
+        env.host.set_hostname("desk1-new");
+        let violations = de.check_oracle(&env);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("desk1-new"), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_tolerates_drift_from_the_known_rename_defect() {
+        let (mut env, mut de) = setup();
+        de.inject("gnome-edn-01", &mut env).unwrap();
+        let req = de.trigger_request("gnome-edn-01").unwrap();
+        assert!(de.handle(&req, &mut env).is_err(), "the rename crashes the session");
+        // The divergence is explained by the armed defect: not a silent
+        // wrong answer, just the fault the campaign injected.
+        assert!(de.check_oracle(&env).is_empty());
     }
 }

@@ -486,6 +486,34 @@ impl Application for MiniWeb {
     fn as_crash_only(&mut self) -> Option<&mut dyn CrashOnly> {
         Some(self)
     }
+
+    fn check_oracle(&self, env: &Environment) -> Vec<String> {
+        let _ = env;
+        let mut violations = Vec::new();
+        // Session consistency: a worker pool at or past the address-space
+        // crash threshold is only observable between requests if something
+        // kept the server alive *through* the crash instead of releasing
+        // the leaked units — every answer it produces is suspect.
+        if self.state.leak_units >= LEAK_CRASH_UNITS {
+            violations.push(format!(
+                "worker pool serving with {} leaked units, at the address-space crash \
+                 threshold of {LEAK_CRASH_UNITS}",
+                self.state.leak_units
+            ));
+        }
+        // Response well-formedness: a healthy server recycles a keep-alive
+        // connection when its pipeline counter reaches the wrap limit, so a
+        // counter at or past it between requests means the scoreboard slot
+        // the next response is assembled from is out of range.
+        if self.state.keepalive_count >= KEEPALIVE_WRAP {
+            violations.push(format!(
+                "keep-alive counter at {} reached the wrap limit of {KEEPALIVE_WRAP} \
+                 without the connection being recycled",
+                self.state.keepalive_count
+            ));
+        }
+        violations
+    }
 }
 
 /// Component indices of the server's crash-only partition.
@@ -640,6 +668,44 @@ mod tests {
         // Generic recovery: restore all state — the leak comes back.
         web.restore(&checkpoint);
         assert!(web.handle(&burst, &mut env).is_err(), "leak persisted in checkpoint");
+    }
+
+    #[test]
+    fn oracle_is_silent_on_a_healthy_server() {
+        let (mut env, mut web) = setup();
+        web.handle(&Request::new("GET /index.html"), &mut env).unwrap();
+        web.handle(&Request::new("KEEPALIVE 4"), &mut env).unwrap();
+        assert!(web.check_oracle(&env).is_empty());
+    }
+
+    #[test]
+    fn oracle_catches_serving_past_the_leak_threshold() {
+        let (mut env, mut web) = setup();
+        web.inject("apache-edn-01", &mut env).unwrap();
+        let burst = web.trigger_request("apache-edn-01").unwrap();
+        web.handle(&burst, &mut env).unwrap();
+        web.handle(&burst, &mut env).unwrap();
+        assert!(web.check_oracle(&env).is_empty(), "below the threshold is fine");
+        assert!(web.handle(&burst, &mut env).is_err(), "third burst crashes");
+        // Going oblivious here — serving on without releasing the units —
+        // is exactly what the oracle prices.
+        let violations = web.check_oracle(&env);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("leaked units"), "{violations:?}");
+    }
+
+    #[test]
+    fn oracle_catches_a_wrapped_keepalive_counter() {
+        let (mut env, mut web) = setup();
+        web.inject("apache-ei-19", &mut env).unwrap();
+        let req = web.trigger_request("apache-ei-19").unwrap();
+        assert!(web.handle(&req, &mut env).is_err(), "the wrap crashes the buggy build");
+        let violations = web.check_oracle(&env);
+        assert!(violations.iter().any(|v| v.contains("keep-alive")), "{violations:?}");
+        // The healthy build recycles the connection: no violation.
+        let (mut env2, mut web2) = setup();
+        assert!(web2.handle(&req, &mut env2).unwrap().is_ok());
+        assert!(web2.check_oracle(&env2).is_empty());
     }
 
     #[test]

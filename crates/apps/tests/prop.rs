@@ -54,6 +54,26 @@ proptest! {
         prop_assert_eq!(app.snapshot(), snapshot);
     }
 
+    /// A healthy application under arbitrary benign traffic never violates
+    /// its own correctness oracle: the oracle only fires on genuinely
+    /// corrupted state, never on normal operation.
+    #[test]
+    fn healthy_apps_never_violate_their_oracle(
+        kind in app_strategy(),
+        n in 0usize..25,
+        seed in any::<u64>()
+    ) {
+        let mut env = big_env(seed);
+        let mut app = spawn_app(kind, &mut env);
+        prop_assert!(app.check_oracle(&env).is_empty(), "{kind}: dirty at boot");
+        let benign = app.benign_request();
+        for _ in 0..n {
+            app.handle(&benign, &mut env).expect("benign requests succeed");
+            let violations = app.check_oracle(&env);
+            prop_assert!(violations.is_empty(), "{kind}: {violations:?}");
+        }
+    }
+
     /// Injecting any corpus fault leaves the benign request path working:
     /// latent defects do not break unrelated traffic. (Faults whose
     /// environmental precondition affects shared resources — disk, fds —

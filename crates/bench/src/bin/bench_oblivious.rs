@@ -1,0 +1,173 @@
+//! Writes `BENCH_oblivious.json`: simulated requests/sec of the
+//! oblivious-recovery campaign at 1..N worker threads, plus the
+//! EI rescue ratio — the fraction of requests the restart baseline drops
+//! that the oblivious family answers instead — as a trajectory that
+//! grows run over run, so successive PRs can track both the campaign's
+//! throughput and the availability the paper's "generic recovery can't
+//! touch this" majority gives up by refusing to go oblivious.
+//!
+//! ```text
+//! cargo run --release -p faultstudy-bench --bin bench_oblivious [OUT_PATH]
+//! # CI smoke: BENCH_OBLIVIOUS_REQUESTS=6000 cargo run ...
+//! ```
+//!
+//! Before any timing the binary asserts byte identity and aborts on
+//! violation, so a recorded number can never come from a wrong result:
+//! the oblivious report and its instrumented metrics registry must
+//! serialize identically at 1, 2, and 4 worker threads and across chunk
+//! sizes, and the rendered cost table must match byte for byte.
+
+use faultstudy_core::taxonomy::FaultClass;
+use faultstudy_exec::ParallelSpec;
+use faultstudy_harness::{HealMode, ObliviousReport, ObliviousSpec};
+use faultstudy_traffic::ArrivalKind;
+use std::time::Instant;
+
+const SEED: u64 = 2000;
+const IDENTITY_REQUESTS: u64 = 6_000;
+const REPS: u32 = 3;
+
+fn thread_counts(host: usize) -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Best-of-`REPS` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Asserts that the campaign is a pure function of its spec at every
+/// thread count about to be timed, and across chunk sizes.
+fn assert_byte_identity(counts: &[usize]) {
+    let spec =
+        ObliviousSpec { seed: SEED, requests: IDENTITY_REQUESTS, arrival: ArrivalKind::Poisson };
+    let (reference, reference_registry) =
+        ObliviousReport::run_instrumented(spec, ParallelSpec::threads(1));
+    let reference_json = serde_json::to_string(&reference).expect("report serializes");
+    let mut specs: Vec<ParallelSpec> = counts.iter().map(|&t| ParallelSpec::threads(t)).collect();
+    specs.push(ParallelSpec::threads(2).with_chunk(7));
+    specs.push(ParallelSpec::threads(4).with_chunk(1));
+    for parallel in specs {
+        let (report, registry) = ObliviousReport::run_instrumented(spec, parallel);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert_eq!(json, reference_json, "report diverged at {parallel:?}");
+        assert_eq!(registry, reference_registry, "registry diverged at {parallel:?}");
+        assert_eq!(report.to_string(), reference.to_string(), "rendered bytes diverged");
+    }
+    eprintln!(
+        "byte-identity: report + registry identical at {counts:?} threads and across \
+         chunk sizes ({IDENTITY_REQUESTS} requests)"
+    );
+}
+
+/// The trajectory array carried over from a previous run of this binary.
+fn prior_trajectory(out_path: &str) -> Vec<serde_json::Value> {
+    let Ok(text) = std::fs::read_to_string(out_path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return Vec::new();
+    };
+    if let Some(serde_json::Value::Seq(entries)) = doc.get("trajectory") {
+        return entries.clone();
+    }
+    Vec::new()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_oblivious.json".to_owned());
+    let requests: u64 = std::env::var("BENCH_OBLIVIOUS_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let counts = thread_counts(host);
+    let spec = ObliviousSpec { seed: SEED, requests, arrival: ArrivalKind::Poisson };
+
+    assert_byte_identity(&counts);
+
+    let mut rows = Vec::new();
+    let mut one_thread_rate = 0.0f64;
+    for &threads in &counts {
+        let parallel = ParallelSpec::threads(threads);
+        let secs = time_best(|| {
+            std::hint::black_box(ObliviousReport::run_with(spec, parallel));
+        });
+        let requests_per_sec = requests as f64 / secs;
+        eprintln!(
+            "oblivious {threads:>2} threads: {requests_per_sec:>12.0} simulated requests/sec"
+        );
+        if threads == 1 {
+            one_thread_rate = requests_per_sec;
+        }
+        rows.push(serde_json::json!({
+            "threads": threads,
+            "seconds": secs,
+            "requests_per_sec": requests_per_sec,
+        }));
+    }
+
+    // One real run for the comparison summary recorded next to the
+    // rates: the tracked number is the fraction of the restart
+    // baseline's EI drops that the discard mode rescues, and the oracle
+    // violations the manufactured mode pays for the same rescue.
+    let report = ObliviousReport::run_with(spec, ParallelSpec::threads(1));
+    assert!(report.anomalies.is_empty(), "bench campaign anomalies: {:?}", report.anomalies);
+    let ei = FaultClass::EnvironmentIndependent;
+    let restart = report.class_stats(ei, HealMode::Restart);
+    let oblivious = report.class_stats(ei, HealMode::Oblivious);
+    let rescued = restart.dropped.saturating_sub(oblivious.dropped);
+    let rescue_ratio =
+        if restart.dropped > 0 { rescued as f64 / restart.dropped as f64 } else { 0.0 };
+    let (_, manufactured, oracle) = report.class_costs(ei, HealMode::Manufactured);
+    let totals = report.totals();
+    eprintln!(
+        "ledger: {} offered, {:.2}% answered, {} dropped; EI rescue ratio {rescue_ratio:.2} \
+         ({manufactured} manufactured, {oracle} oracle violations)",
+        totals.offered,
+        100.0 * totals.availability(),
+        totals.dropped,
+    );
+
+    let mut trajectory = prior_trajectory(&out_path);
+    trajectory.push(serde_json::json!({
+        "requests": requests,
+        "requests_per_sec": one_thread_rate,
+        "ei_rescue_ratio": rescue_ratio,
+        "ei_oracle_violations_manufactured": oracle,
+    }));
+
+    let comparison = serde_json::json!({
+        "ei_restart_dropped": restart.dropped,
+        "ei_oblivious_dropped": oblivious.dropped,
+        "ei_rescue_ratio": rescue_ratio,
+        "ei_manufactured_substitutes": manufactured,
+        "ei_oracle_violations_manufactured": oracle,
+        "offered": totals.offered,
+        "availability_pct": 100.0 * totals.availability(),
+        "dropped": totals.dropped,
+    });
+    let doc = serde_json::json!({
+        "host_available_parallelism": host,
+        "seed": SEED,
+        "requests": requests,
+        "arrival": "poisson",
+        "units": report.cells.len(),
+        "identity": "report + registry byte-identical at 1/2/4 threads and across chunk sizes",
+        "comparison": comparison,
+        "per_threads": rows,
+        "trajectory": serde_json::Value::Seq(trajectory),
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
+    std::fs::write(&out_path, rendered + "\n").expect("write BENCH_oblivious.json");
+    eprintln!("wrote {out_path}");
+}

@@ -14,6 +14,7 @@
 //!   inject     plan-driven environment injection x strategy x scrub
 //!   traffic    open-loop traffic with per-request SLO accounting
 //!   micro      microreboot vs whole-process restart under traffic
+//!   oblivious  failure-oblivious recovery priced by correctness oracles
 //!   metrics    deterministic observability: TTR histograms + stage timings
 //!   verify     CI self-check: exits non-zero if a guarantee fails
 //!   lee-iyer   the §7 reconciliation with \[Lee93\]
@@ -29,7 +30,8 @@ use faultstudy_core::timeline::{by_month, by_release};
 use faultstudy_corpus::paper_study;
 use faultstudy_harness::{
     paper_scale_funnels_with, CampaignReport, CampaignSpec, InjectReport, InjectSpec, MicroReport,
-    MicroSpec, ParallelSpec, RecoveryMatrix, TrafficReport, TrafficSpec,
+    MicroSpec, ObliviousReport, ObliviousSpec, ParallelSpec, RecoveryMatrix, TrafficReport,
+    TrafficSpec,
 };
 use faultstudy_report::{
     render_discussion, render_release_figure, render_table, render_time_figure,
@@ -74,7 +76,7 @@ fn print_json<T: serde::Serialize>(what: &str, value: &T) -> bool {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|traffic|micro|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--requests N] [--arrival poisson|bursty|diurnal] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|traffic|micro|oblivious|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--requests N] [--arrival poisson|bursty|diurnal] [--json]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options {
@@ -145,6 +147,7 @@ fn main() -> ExitCode {
         "inject" => inject(&opts),
         "traffic" => traffic(&opts),
         "micro" => micro(&opts),
+        "oblivious" => oblivious(&opts),
         "metrics" => metrics(&opts),
         "verify" => verify(&opts),
         "all" => {
@@ -425,48 +428,80 @@ fn campaign(opts: &Options) -> bool {
     true
 }
 
+/// The shared exit-code path of every campaign subcommand: reports each
+/// anomaly on stderr and returns whether the list was empty, so a
+/// violated class contract — or an underpowered run that could not check
+/// one — exits non-zero in every output mode.
+fn campaign_ok(what: &str, anomalies: &[String]) -> bool {
+    for anomaly in anomalies {
+        eprintln!("faultstudy: {what}: ANOMALY: {anomaly}");
+    }
+    anomalies.is_empty()
+}
+
 /// The injection campaign: every standard plan x strategy x scrub setting
 /// under the hardened supervisor. Exits non-zero if the class contract is
 /// violated, so the command doubles as a CI smoke check.
 fn inject(opts: &Options) -> bool {
     let report = InjectReport::run_with(InjectSpec { seed: opts.seed }, opts.parallel);
     if opts.json {
-        return print_json("injection report", &report);
+        return print_json("injection report", &report) & campaign_ok("inject", &report.anomalies);
     }
     print!("{report}");
-    report.anomalies.is_empty()
+    campaign_ok("inject", &report.anomalies)
 }
 
 /// The traffic campaign: open-loop request streams through every
 /// injection plan x strategy x application, reported as availability,
 /// goodput, and tail latency per (fault class, strategy) cell, plus the
-/// recovery matrix extended with the SLO-miss column family.
+/// recovery matrix extended with the SLO-miss column family. Exits
+/// non-zero if the class contract is violated or unchecked.
 fn traffic(opts: &Options) -> bool {
     let spec = TrafficSpec { seed: opts.seed, requests: opts.requests, arrival: opts.arrival };
     let report = TrafficReport::run_with(spec, opts.parallel);
     if opts.json {
-        return print_json("traffic report", &report);
+        return print_json("traffic report", &report) & campaign_ok("traffic", &report.anomalies());
     }
     print!("{report}");
     let matrix = RecoveryMatrix::run(opts.seed);
     print!("{}", matrix.render_with_slo(&report));
-    true
+    campaign_ok("traffic", &report.anomalies())
 }
 
 /// The microreboot campaign: the same open-loop traffic served under
 /// whole-process restart and under crash-only component microreboot,
 /// reported per (fault class, mode) cell with time-to-recovery, plus the
-/// recovery matrix extended with the comparison column families.
+/// recovery matrix extended with the comparison column families. Exits
+/// non-zero if the class contract is violated or unchecked.
 fn micro(opts: &Options) -> bool {
     let spec = MicroSpec { seed: opts.seed, requests: opts.requests, arrival: opts.arrival };
     let report = MicroReport::run_with(spec, opts.parallel);
     if opts.json {
-        return print_json("micro report", &report);
+        return print_json("micro report", &report) & campaign_ok("micro", &report.anomalies());
     }
     print!("{report}");
     let matrix = RecoveryMatrix::run(opts.seed);
     print!("{}", matrix.render_with_micro(&report));
-    true
+    campaign_ok("micro", &report.anomalies())
+}
+
+/// The oblivious-recovery campaign: the same open-loop traffic served
+/// under restart, failure-oblivious discard, manufactured defaults,
+/// in-place state scrubbing, and the profile-guided healer — priced by
+/// each application's correctness oracle — plus the recovery matrix
+/// extended with the availability and wrong-answer column families.
+/// Exits non-zero if the class contract is violated or unchecked.
+fn oblivious(opts: &Options) -> bool {
+    let spec = ObliviousSpec { seed: opts.seed, requests: opts.requests, arrival: opts.arrival };
+    let report = ObliviousReport::run_with(spec, opts.parallel);
+    if opts.json {
+        return print_json("oblivious report", &report)
+            & campaign_ok("oblivious", &report.anomalies);
+    }
+    print!("{report}");
+    let matrix = RecoveryMatrix::run(opts.seed);
+    print!("{}", matrix.render_with_oracle(&report));
+    campaign_ok("oblivious", &report.anomalies)
 }
 
 fn lee_iyer(opts: &Options) -> bool {

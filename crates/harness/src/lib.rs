@@ -14,6 +14,9 @@
 //!   accounting under injection load.
 //! - [`micro`] — microreboot (crash-only component recovery) measured
 //!   against whole-process restart under the same traffic.
+//! - [`oblivious`] — failure-oblivious continuation and self-healing
+//!   measured against restart, priced by per-application correctness
+//!   oracles.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod funnel;
 pub mod inject;
 pub mod matrix;
 pub mod micro;
+pub mod oblivious;
 pub mod traffic;
 pub mod workload;
 
@@ -54,4 +58,5 @@ pub use funnel::{paper_scale_funnels, paper_scale_funnels_instrumented, paper_sc
 pub use inject::{InjectCell, InjectReport, InjectSpec};
 pub use matrix::RecoveryMatrix;
 pub use micro::{micro_plans, MicroCell, MicroReport, MicroSpec, RecoveryMode};
+pub use oblivious::{HealMode, ObliviousCell, ObliviousReport, ObliviousSpec};
 pub use traffic::{TrafficCell, TrafficReport, TrafficSpec};

@@ -300,6 +300,77 @@ impl RecoveryMatrix {
         out
     }
 
+    /// Renders the matrix with the oblivious-recovery column families
+    /// per fault class, taken from an oblivious campaign: availability
+    /// per heal mode, then the price of staying available — substitute
+    /// answers handed out (visible discards + silent manufactured
+    /// defaults) and correctness-oracle violations. The survival matrix
+    /// says whether a strategy keeps an application alive; these
+    /// families say which answers were wrong while it did.
+    pub fn render_with_oracle(&self, oblivious: &crate::oblivious::ObliviousReport) -> String {
+        use crate::oblivious::HealMode;
+        let mut out = self.to_string();
+        let _ = writeln!(
+            out,
+            "oblivious recovery vs restart (open-loop traffic, {} requests):",
+            oblivious.spec.requests
+        );
+        let _ = write!(out, "{:<22}", "availability");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for mode in HealMode::ALL {
+            let _ = write!(out, "{:<22}", mode.name());
+            for class in FaultClass::ALL {
+                let stats = oblivious.class_stats(class, mode);
+                if stats.offered == 0 {
+                    let _ = write!(out, " {:>14}", "-");
+                } else {
+                    let _ = write!(out, " {:>14}", format!("{:.2}%", 100.0 * stats.availability()));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:<22}", "substitutes");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for mode in HealMode::ALL {
+            let _ = write!(out, "{:<22}", mode.name());
+            for class in FaultClass::ALL {
+                let stats = oblivious.class_stats(class, mode);
+                if stats.offered == 0 {
+                    let _ = write!(out, " {:>14}", "-");
+                } else {
+                    let (discarded, manufactured, _) = oblivious.class_costs(class, mode);
+                    let _ = write!(out, " {:>14}", format!("{discarded}+{manufactured}"));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:<22}", "oracle violations");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for mode in HealMode::ALL {
+            let _ = write!(out, "{:<22}", mode.name());
+            for class in FaultClass::ALL {
+                let stats = oblivious.class_stats(class, mode);
+                if stats.offered == 0 {
+                    let _ = write!(out, " {:>14}", "-");
+                } else {
+                    let (_, _, violations) = oblivious.class_costs(class, mode);
+                    let _ = write!(out, " {:>14}", violations);
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
     /// Renders the matrix with an SLO-miss column family per fault class,
     /// taken from a traffic campaign over the same strategies: the
     /// fraction of offered requests that were dropped or answered over

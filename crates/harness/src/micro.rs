@@ -353,6 +353,56 @@ impl MicroReport {
         }
         (stats.slo_violations + stats.dropped) as f64 / stats.offered as f64
     }
+
+    /// Violations of the campaign's class contract on the state-leak
+    /// plan: the restored checkpoint must preserve the leak (restart
+    /// drops requests), the crash-only reboot must discard it (no drops,
+    /// strictly better availability). A contract cell that was offered no
+    /// requests is itself an anomaly — an underpowered run must exit
+    /// non-zero instead of passing vacuously.
+    pub fn anomalies(&self) -> Vec<String> {
+        let mut anomalies = Vec::new();
+        let mut fetch = |mode: RecoveryMode| -> Option<&MicroCell> {
+            let Some(cell) = self.cell("state-leak", mode, AppKind::Apache) else {
+                anomalies.push(format!("state-leak/{}: contract cell missing", mode.name()));
+                return None;
+            };
+            if cell.stats.offered == 0 {
+                anomalies.push(format!(
+                    "state-leak/{}: offered no requests, contract unchecked",
+                    mode.name()
+                ));
+                return None;
+            }
+            Some(cell)
+        };
+        let restart = fetch(RecoveryMode::Restart);
+        let micro = fetch(RecoveryMode::Micro);
+        if let Some(restart) = restart {
+            if restart.stats.dropped == 0 {
+                anomalies.push(
+                    "state-leak/restart: the restored checkpoint must preserve the leak".to_owned(),
+                );
+            }
+        }
+        if let Some(micro) = micro {
+            if micro.stats.dropped > 0 {
+                anomalies.push(
+                    "state-leak/microreboot: the crash-only reboot must not lose a request"
+                        .to_owned(),
+                );
+            }
+        }
+        if let (Some(restart), Some(micro)) = (restart, micro) {
+            if micro.stats.availability() <= restart.stats.availability() {
+                anomalies.push(
+                    "state-leak: microreboot availability must beat whole-process restart"
+                        .to_owned(),
+                );
+            }
+        }
+        anomalies
+    }
 }
 
 /// Nanoseconds rendered as fractional milliseconds for the tables.
@@ -405,7 +455,13 @@ impl fmt::Display for MicroReport {
             100.0 * t.availability(),
             t.dropped,
             t.slo_violations
-        )
+        )?;
+        let anomalies = self.anomalies();
+        if anomalies.is_empty() {
+            writeln!(f, "  no anomalies: the state-leak cells matched the crash-only contract")
+        } else {
+            writeln!(f, "  ANOMALIES: {anomalies:?}")
+        }
     }
 }
 

@@ -333,6 +333,37 @@ impl TrafficReport {
         }
         (stats.slo_violations + stats.dropped) as f64 / stats.offered as f64
     }
+
+    /// Violations of the campaign's class contract: EI triggers must
+    /// drop requests under no recovery, restart must not make transient
+    /// classes worse than no recovery, and the run must exercise faults
+    /// at all. A class cell that was offered no requests is itself an
+    /// anomaly — an underpowered run must exit non-zero instead of
+    /// passing vacuously.
+    pub fn anomalies(&self) -> Vec<String> {
+        let mut anomalies = Vec::new();
+        let none = self.class_stats(FaultClass::EnvironmentIndependent, StrategyKind::None);
+        if none.offered == 0 {
+            anomalies.push("ei/none: offered no requests, contract unchecked".to_owned());
+        } else if none.dropped == 0 {
+            anomalies.push("ei/none: EI triggers must drop requests under no recovery".to_owned());
+        }
+        let restart = self.class_stats(FaultClass::EnvDependentTransient, StrategyKind::Restart);
+        let bare = self.class_stats(FaultClass::EnvDependentTransient, StrategyKind::None);
+        if restart.offered == 0 || bare.offered == 0 {
+            anomalies.push("edt: offered no requests, contract unchecked".to_owned());
+        } else if restart.availability() < bare.availability() {
+            anomalies.push(format!(
+                "edt: restart availability {:.4} below no-recovery {:.4}",
+                restart.availability(),
+                bare.availability()
+            ));
+        }
+        if self.totals().failures == 0 {
+            anomalies.push("campaign exercised no faults".to_owned());
+        }
+        anomalies
+    }
 }
 
 /// Nanoseconds rendered as fractional milliseconds for the SLO table.
@@ -384,7 +415,13 @@ impl fmt::Display for TrafficReport {
             100.0 * t.availability(),
             t.dropped,
             t.slo_violations
-        )
+        )?;
+        let anomalies = self.anomalies();
+        if anomalies.is_empty() {
+            writeln!(f, "  no anomalies: degradation and recovery matched the class contract")
+        } else {
+            writeln!(f, "  ANOMALIES: {anomalies:?}")
+        }
     }
 }
 

@@ -94,6 +94,41 @@ fn json_output_parses() {
 }
 
 #[test]
+fn campaign_commands_pass_at_adequate_sizes() {
+    let (stdout, stderr, ok) = run(&["micro", "--requests", "6000"]);
+    assert!(ok, "micro: {stderr}");
+    assert!(stdout.contains("no anomalies"));
+    let (stdout, stderr, ok) = run(&["traffic", "--seed", "3", "--requests", "3780"]);
+    assert!(ok, "traffic: {stderr}");
+    assert!(stdout.contains("no anomalies"));
+}
+
+#[test]
+fn underpowered_campaigns_exit_nonzero() {
+    // Before the shared anomaly exit path, micro and traffic always
+    // exited zero — even on runs too small to check any contract.
+    let (_, stderr, ok) = run(&["micro", "--requests", "10"]);
+    assert!(!ok, "an unchecked micro contract must fail the command");
+    assert!(stderr.contains("ANOMALY"), "{stderr}");
+    let (_, stderr, ok) = run(&["traffic", "--requests", "60"]);
+    assert!(!ok, "an unchecked traffic contract must fail the command");
+    assert!(stderr.contains("ANOMALY"), "{stderr}");
+    let (_, stderr, ok) = run(&["oblivious", "--requests", "150"]);
+    assert!(!ok, "an unchecked oblivious contract must fail the command");
+    assert!(stderr.contains("ANOMALY"), "{stderr}");
+}
+
+#[test]
+fn oblivious_command_prints_the_cost_matrix() {
+    let (stdout, stderr, ok) = run(&["oblivious", "--requests", "6000"]);
+    assert!(ok, "oblivious: {stderr}");
+    assert!(stdout.contains("Oblivious-recovery campaign"));
+    assert!(stdout.contains("oracle violations"));
+    assert!(stdout.contains("manufactured"));
+    assert!(stdout.contains("no anomalies"));
+}
+
+#[test]
 fn verify_command_passes_and_reports() {
     let (stdout, _, ok) = run(&["verify", "--seed", "2000"]);
     assert!(ok, "verify must succeed on the shipped configuration");

@@ -137,6 +137,12 @@ impl Histogram {
         if self.count == 0 {
             return None;
         }
+        if num == 0 {
+            // q0 is the observed minimum exactly. Falling through would
+            // clamp the rank to 1 and report the first bucket's *upper*
+            // bound, overstating the minimum by up to 2x.
+            return Some(self.min);
+        }
         // Rank of the requested sample, 1-based: ceil(count * num / den),
         // at least 1. Pure integer arithmetic keeps this deterministic.
         let rank = ((self.count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
@@ -270,6 +276,19 @@ mod tests {
         assert_eq!(h.quantile(95, 100), Some(1000), "rank 10 reaches the outlier");
         assert_eq!(h.quantile(0, 1), Some(1), "q0 is the first sample's bucket");
         assert_eq!(h.quantile(1, 1), Some(1000));
+    }
+
+    #[test]
+    fn q0_reports_the_observed_min_exactly() {
+        // 5 and 6 share bucket [4, 7]. The old rank-clamping path returned
+        // the bucket's upper bound clamped to [min, max] — 6, overstating
+        // the minimum. q0 must be the exact observed min.
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        assert_eq!(h.quantile(0, 4), Some(5));
+        assert_eq!(h.quantile(0, 1), Some(5));
+        assert_eq!(h.min(), h.quantile(0, 1));
     }
 
     #[test]

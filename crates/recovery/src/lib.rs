@@ -32,6 +32,14 @@
 //! - [`breaker`] — the per-strategy circuit breaker.
 //! - [`tree`] — microreboot: crash-only component recovery over a
 //!   per-component restart tree with breaker-driven escalation.
+//! - [`oblivious`] — failure-oblivious continuation: discard the failing
+//!   request ([`Oblivious`]) or synthesize a deterministic default answer
+//!   ([`ManufacturedValue`]) instead of abandoning the stream.
+//! - [`scrub`] — [`StateScrub`]: drop volatile component state in place,
+//!   the application-state generalization of environment scrubbing.
+//! - [`healer`] — [`ProfileHealer`]: a runtime-profile-guided meta-strategy
+//!   that picks retry/scrub/discard per attempt from observed failure
+//!   signatures.
 //! - [`thread_pair`] — a real-thread process-pair demonstration on
 //!   crossbeam channels.
 
@@ -41,11 +49,14 @@
 pub mod app_specific;
 pub mod backoff;
 pub mod breaker;
+pub mod healer;
+pub mod oblivious;
 pub mod pair;
 pub mod progressive;
 pub mod rejuvenation;
 pub mod restart;
 pub mod rollback;
+pub mod scrub;
 pub mod strategy;
 pub mod supervisor;
 pub mod thread_pair;
@@ -54,11 +65,14 @@ pub mod tree;
 pub use app_specific::AppSpecific;
 pub use backoff::BackoffPolicy;
 pub use breaker::CircuitBreaker;
+pub use healer::{FailureProfile, ProfileHealer};
+pub use oblivious::{ManufacturedValue, Oblivious};
 pub use pair::ProcessPair;
 pub use progressive::ProgressiveRetry;
 pub use rejuvenation::Rejuvenation;
 pub use restart::RestartRetry;
 pub use rollback::RollbackRecovery;
+pub use scrub::{scrub_volatile_state, StateScrub};
 pub use strategy::{NoRecovery, RecoveryStrategy};
 pub use supervisor::{
     run_workload, run_workload_supervised, EnvHook, RequestSupervisor, ServeOutcome, SupervisedRun,

@@ -1,6 +1,6 @@
 //! The recovery-strategy abstraction.
 
-use faultstudy_apps::{Application, Request};
+use faultstudy_apps::{Application, Request, Response};
 use faultstudy_env::Environment;
 use std::fmt;
 
@@ -55,6 +55,25 @@ pub trait RecoveryStrategy: fmt::Debug {
     ) -> bool {
         let _ = req;
         self.on_failure(app, env, attempt)
+    }
+
+    /// Called by the supervisor when the strategy declined to retry
+    /// (`on_failure*` returned `false`), as a last chance to keep the
+    /// stream alive: a failure-oblivious strategy may substitute an
+    /// answer for the doomed request instead of abandoning it. Returning
+    /// `Some` makes the supervisor report the request as served —
+    /// `Response::Denied` is a *visible* substitute (counted, excluded
+    /// from goodput), `Response::Ok` a *silent* manufactured value whose
+    /// cost only a correctness oracle can expose. The default declines,
+    /// so every pre-existing strategy keeps its exact abandon semantics.
+    fn manufacture(
+        &mut self,
+        req: &Request,
+        app: &mut dyn Application,
+        env: &mut Environment,
+    ) -> Option<Response> {
+        let _ = (req, app, env);
+        None
     }
 }
 

@@ -271,6 +271,7 @@ impl RequestSupervisor {
                         let now = env.now();
                         env.metrics.record_span("recovery.ttr", strategy.name(), span, now);
                         env.metrics.record("recovery.retries", strategy.name(), u64::from(attempt));
+                        record_oracle_violations(&*app, env, strategy.name());
                     }
                     return ServeOutcome::Served { failed_attempts: attempt, denied };
                 }
@@ -291,6 +292,33 @@ impl RequestSupervisor {
                         }
                     }
                     if !strategy.on_failure_for(req, app, env, attempt) {
+                        // The strategy declined to retry. A failure-oblivious
+                        // strategy gets a last chance to substitute an answer
+                        // and keep the stream alive: a `Denied` substitute is
+                        // a visible discard, an `Ok` one a silent manufactured
+                        // value — the supervisor counts each kind so the
+                        // campaign can price the rescue.
+                        if let Some(resp) = strategy.manufacture(req, app, env) {
+                            let denied = !resp.is_ok();
+                            let kind = if denied {
+                                "oblivious.discarded"
+                            } else {
+                                "oblivious.manufactured"
+                            };
+                            env.metrics.incr(kind, strategy.name(), 1);
+                            self.breaker.record_success();
+                            if let Some(span) = ttr {
+                                let now = env.now();
+                                env.metrics.record_span("recovery.ttr", strategy.name(), span, now);
+                                env.metrics.record(
+                                    "recovery.retries",
+                                    strategy.name(),
+                                    u64::from(attempt),
+                                );
+                            }
+                            record_oracle_violations(&*app, env, strategy.name());
+                            return ServeOutcome::Served { failed_attempts: attempt, denied };
+                        }
                         return ServeOutcome::Abandoned { failed_attempts: attempt };
                     }
                     self.recoveries += 1;
@@ -363,6 +391,23 @@ impl RequestSupervisor {
     /// The most recent fault manifestation, recovered or not.
     pub fn last_failure(&self) -> Option<&AppFailure> {
         self.last_failure.as_ref()
+    }
+}
+
+/// Evaluates the application's correctness oracle after a recovery and
+/// records each violation under `oracle.violations` labelled by strategy.
+///
+/// Gated on metrics being enabled — the oracle is read-only over app and
+/// environment and never advances the clock, so the simulation itself is
+/// byte-identical whether or not it runs; the gate only keeps the
+/// uninstrumented hot path free of the state walk.
+fn record_oracle_violations(app: &dyn Application, env: &mut Environment, strategy: &'static str) {
+    if !env.metrics.is_enabled() {
+        return;
+    }
+    let violations = app.check_oracle(env);
+    if !violations.is_empty() {
+        env.metrics.incr("oracle.violations", strategy, violations.len() as u64);
     }
 }
 

@@ -5,8 +5,9 @@ use faultstudy_core::taxonomy::AppKind;
 use faultstudy_env::Environment;
 use faultstudy_recovery::thread_pair::{run_pair, Op};
 use faultstudy_recovery::{
-    run_workload, BackoffPolicy, NoRecovery, ProcessPair, ProgressiveRetry, RecoveryStrategy,
-    RestartRetry, RollbackRecovery,
+    run_workload, BackoffPolicy, FailureProfile, ManufacturedValue, NoRecovery, Oblivious,
+    ProcessPair, ProfileHealer, ProgressiveRetry, RecoveryStrategy, RestartRetry, RollbackRecovery,
+    StateScrub,
 };
 use faultstudy_sim::time::Duration;
 use proptest::prelude::*;
@@ -94,6 +95,43 @@ proptest! {
             let workload = vec![app.trigger_request(fault.slug()).expect("trigger")];
             let run = run_workload(app.as_mut(), &mut env, &workload, strategy.as_mut());
             prop_assert!(!run.survived, "{} with {retries} retries", strategy.name());
+        }
+    }
+
+    /// With their distinguishing feature disabled, every oblivious-family
+    /// strategy degenerates byte-for-byte into plain restart-retry: same
+    /// run accounting AND same simulated clock, over the whole fault
+    /// corpus. The features are strictly additive.
+    #[test]
+    fn disabled_oblivious_family_degenerates_into_restart_retry(
+        fault_idx in 0usize..139,
+        retries in 0u32..4,
+        seed in any::<u64>()
+    ) {
+        let corpus = faultstudy_corpus::full_corpus();
+        let fault = &corpus[fault_idx];
+        let scenario = |strategy: &mut dyn RecoveryStrategy| {
+            let mut env = big_env(seed);
+            let mut app = spawn_app(fault.app(), &mut env);
+            app.inject(fault.slug(), &mut env).expect("injectable");
+            let workload = vec![
+                app.benign_request(),
+                app.trigger_request(fault.slug()).expect("trigger"),
+                app.benign_request(),
+            ];
+            let run = run_workload(app.as_mut(), &mut env, &workload, strategy);
+            (run, env.now())
+        };
+        let baseline = scenario(&mut RestartRetry::new(retries));
+        let featureless: Vec<Box<dyn RecoveryStrategy>> = vec![
+            Box::new(Oblivious::new(retries)),
+            Box::new(ManufacturedValue::new(retries)),
+            Box::new(StateScrub::new(retries)),
+            Box::new(ProfileHealer::new(retries, FailureProfile::empty())),
+        ];
+        for mut strategy in featureless {
+            let got = scenario(strategy.as_mut());
+            prop_assert_eq!(&got, &baseline, "{} diverged from restart-retry", strategy.name());
         }
     }
 

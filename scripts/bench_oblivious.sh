@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Updates BENCH_oblivious.json (simulated requests/sec of the
+# oblivious-recovery campaign at 1..N worker threads, plus the EI rescue
+# ratio — the fraction of the restart baseline's environment-independent
+# drops that the discard mode answers instead — and the oracle-violation
+# cost the manufactured mode pays for the same rescue). The file's
+# trajectory is appended to, not overwritten: each run preserves the
+# prior `trajectory` entries and adds its own 1-thread rate and rescue
+# ratio, so the file accumulates both histories across PRs. Before any
+# timing the bench asserts that the oblivious report, its instrumented
+# metrics registry, and the rendered cost table are byte-identical at
+# 1/2/4 threads and across chunk sizes, and aborts on violation. Run
+# from the repo root:
+#
+#   sh scripts/bench_oblivious.sh
+#
+# or via make: `make bench-oblivious`. Override the campaign size with
+# BENCH_OBLIVIOUS_REQUESTS (default 600,000).
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_oblivious -- BENCH_oblivious.json
