@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject bench-traffic bench-micro bench-oblivious verify fmt lint
+.PHONY: build test bench-parallel bench-textscan bench-obs bench-inject bench-traffic bench-micro bench-oblivious bench-graph verify fmt lint
 
 build:
 	cargo build --release
@@ -35,6 +35,10 @@ bench-micro:
 # Writes BENCH_oblivious.json: oblivious campaign requests/sec + EI rescue ratio.
 bench-oblivious:
 	sh scripts/bench_oblivious.sh
+
+# Writes BENCH_graph.json: graph campaign requests/sec + channel-vs-process TTR ratio.
+bench-graph:
+	sh scripts/bench_graph.sh
 
 verify:
 	cargo run --release -p faultstudy-harness --bin faultstudy -- verify

@@ -1,0 +1,168 @@
+//! Writes `BENCH_graph.json`: simulated requests/sec of the graph
+//! campaign at 1..N worker threads, plus the channel-vs-process TTR
+//! ratio on sticky wedges and the peak downstream-amplification ratio as
+//! a trajectory that grows run over run, so successive PRs can track the
+//! campaign's throughput, the per-channel recovery edge, and the retry
+//! cascade cost together.
+//!
+//! ```text
+//! cargo run --release -p faultstudy-bench --bin bench_graph [OUT_PATH]
+//! # CI smoke: BENCH_GRAPH_REQUESTS=7200 cargo run ...
+//! ```
+//!
+//! Before any timing the binary asserts byte identity and aborts on
+//! violation, so a recorded number can never come from a wrong result:
+//! the graph report and its instrumented metrics registry must serialize
+//! identically at 1, 2, and 4 worker threads and across chunk sizes, and
+//! the rendered campaign table must match byte for byte.
+
+use faultstudy_core::taxonomy::FaultClass;
+use faultstudy_exec::ParallelSpec;
+use faultstudy_graph::PlaneKind;
+use faultstudy_harness::graph::GRAPH_BUDGETS;
+use faultstudy_harness::{GraphReport, GraphSpec};
+use faultstudy_traffic::ArrivalKind;
+use std::time::Instant;
+
+const SEED: u64 = 2000;
+const IDENTITY_REQUESTS: u64 = 7_200;
+const REPS: u32 = 3;
+
+fn thread_counts(host: usize) -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Best-of-`REPS` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Asserts that the campaign is a pure function of its spec at every
+/// thread count about to be timed, and across chunk sizes.
+fn assert_byte_identity(counts: &[usize]) {
+    let spec = GraphSpec { seed: SEED, requests: IDENTITY_REQUESTS, arrival: ArrivalKind::Poisson };
+    let (reference, reference_registry) =
+        GraphReport::run_instrumented(spec, ParallelSpec::threads(1));
+    let reference_json = serde_json::to_string(&reference).expect("report serializes");
+    let mut specs: Vec<ParallelSpec> = counts.iter().map(|&t| ParallelSpec::threads(t)).collect();
+    specs.push(ParallelSpec::threads(2).with_chunk(7));
+    specs.push(ParallelSpec::threads(4).with_chunk(1));
+    for parallel in specs {
+        let (report, registry) = GraphReport::run_instrumented(spec, parallel);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert_eq!(json, reference_json, "report diverged at {parallel:?}");
+        assert_eq!(registry, reference_registry, "registry diverged at {parallel:?}");
+        assert_eq!(report.to_string(), reference.to_string(), "rendered bytes diverged");
+    }
+    eprintln!(
+        "byte-identity: report + registry identical at {counts:?} threads and across \
+         chunk sizes ({IDENTITY_REQUESTS} requests)"
+    );
+}
+
+/// The trajectory array carried over from a previous run of this binary.
+fn prior_trajectory(out_path: &str) -> Vec<serde_json::Value> {
+    let Ok(text) = std::fs::read_to_string(out_path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return Vec::new();
+    };
+    if let Some(serde_json::Value::Seq(entries)) = doc.get("trajectory") {
+        return entries.clone();
+    }
+    Vec::new()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_graph.json".to_owned());
+    let requests: u64 =
+        std::env::var("BENCH_GRAPH_REQUESTS").ok().and_then(|v| v.parse().ok()).unwrap_or(600_000);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let counts = thread_counts(host);
+    let spec = GraphSpec { seed: SEED, requests, arrival: ArrivalKind::Poisson };
+
+    assert_byte_identity(&counts);
+
+    let mut rows = Vec::new();
+    let mut one_thread_rate = 0.0f64;
+    for &threads in &counts {
+        let parallel = ParallelSpec::threads(threads);
+        let secs = time_best(|| {
+            std::hint::black_box(GraphReport::run_with(spec, parallel));
+        });
+        let requests_per_sec = requests as f64 / secs;
+        eprintln!("graph {threads:>2} threads: {requests_per_sec:>12.0} simulated requests/sec");
+        if threads == 1 {
+            one_thread_rate = requests_per_sec;
+        }
+        rows.push(serde_json::json!({
+            "threads": threads,
+            "seconds": secs,
+            "requests_per_sec": requests_per_sec,
+        }));
+    }
+
+    // One real run for the comparison summary recorded next to the rates:
+    // the tracked numbers are how much faster per-channel recovery clears
+    // a sticky wedge than process supervision, and how hard the retry
+    // sweep's full budget re-drives the db tier.
+    let report = GraphReport::run_with(spec, ParallelSpec::threads(1));
+    let full = *GRAPH_BUDGETS.last().expect("sweep is nonempty");
+    let edn = FaultClass::EnvDependentNonTransient;
+    let channel_p50 = report.class_ttr(edn, PlaneKind::Channel, full).p50().unwrap_or(0);
+    let process_p50 = report.class_ttr(edn, PlaneKind::Process, full).p50().unwrap_or(0);
+    let ttr_ratio = if channel_p50 > 0 { process_p50 as f64 / channel_p50 as f64 } else { 0.0 };
+    let amplification = report.max_amplification(full);
+    let totals = report.graph_totals();
+    eprintln!(
+        "ledger: {} offered, {:.2}% answered, {} dropped; sticky TTR p50 \
+         process/channel = {ttr_ratio:.2}x; max amplification {amplification:.2}",
+        totals.base.offered,
+        100.0 * totals.base.availability(),
+        totals.base.dropped,
+    );
+
+    let mut trajectory = prior_trajectory(&out_path);
+    trajectory.push(serde_json::json!({
+        "requests": requests,
+        "requests_per_sec": one_thread_rate,
+        "ttr_ratio_process_over_channel": ttr_ratio,
+        "max_amplification": amplification,
+    }));
+
+    let comparison = serde_json::json!({
+        "sticky_ttr_p50_process_ns": process_p50,
+        "sticky_ttr_p50_channel_ns": channel_p50,
+        "ttr_ratio_process_over_channel": ttr_ratio,
+        "max_amplification": amplification,
+        "offered": totals.base.offered,
+        "availability_pct": 100.0 * totals.base.availability(),
+        "dropped": totals.base.dropped,
+        "channel_recoveries": totals.channel_recoveries,
+        "node_restarts": totals.node_restarts,
+    });
+    let doc = serde_json::json!({
+        "host_available_parallelism": host,
+        "seed": SEED,
+        "requests": requests,
+        "arrival": "poisson",
+        "units": report.cells.len(),
+        "identity": "report + registry byte-identical at 1/2/4 threads and across chunk sizes",
+        "comparison": comparison,
+        "per_threads": rows,
+        "trajectory": serde_json::Value::Seq(trajectory),
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("bench doc serializes");
+    std::fs::write(&out_path, rendered + "\n").expect("write BENCH_graph.json");
+    eprintln!("wrote {out_path}");
+}

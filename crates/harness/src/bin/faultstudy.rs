@@ -14,6 +14,8 @@
 //!   inject     plan-driven environment injection x strategy x scrub
 //!   traffic    open-loop traffic with per-request SLO accounting
 //!   micro      microreboot vs whole-process restart under traffic
+//!   graph      the distributed IPC fault plane: per-channel recovery vs
+//!              process supervision on the three-tier service graph
 //!   oblivious  failure-oblivious recovery priced by correctness oracles
 //!   metrics    deterministic observability: TTR histograms + stage timings
 //!   verify     CI self-check: exits non-zero if a guarantee fails
@@ -29,9 +31,9 @@ use faultstudy_core::taxonomy::AppKind;
 use faultstudy_core::timeline::{by_month, by_release};
 use faultstudy_corpus::paper_study;
 use faultstudy_harness::{
-    paper_scale_funnels_with, CampaignReport, CampaignSpec, InjectReport, InjectSpec, MicroReport,
-    MicroSpec, ObliviousReport, ObliviousSpec, ParallelSpec, RecoveryMatrix, TrafficReport,
-    TrafficSpec,
+    paper_scale_funnels_with, CampaignReport, CampaignSpec, GraphReport, GraphSpec, InjectReport,
+    InjectSpec, MicroReport, MicroSpec, ObliviousReport, ObliviousSpec, ParallelSpec,
+    RecoveryMatrix, TrafficReport, TrafficSpec,
 };
 use faultstudy_report::{
     render_discussion, render_release_figure, render_table, render_time_figure,
@@ -76,7 +78,7 @@ fn print_json<T: serde::Serialize>(what: &str, value: &T) -> bool {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
-        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|traffic|micro|oblivious|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--requests N] [--arrival poisson|bursty|diurnal] [--json]");
+        eprintln!("usage: faultstudy <tables|figures|summary|mine|recover|campaign|inject|traffic|micro|graph|oblivious|metrics|verify|lee-iyer|experiments|all> [--seed N] [--threads N] [--samples N] [--requests N] [--arrival poisson|bursty|diurnal] [--json]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options {
@@ -147,6 +149,7 @@ fn main() -> ExitCode {
         "inject" => inject(&opts),
         "traffic" => traffic(&opts),
         "micro" => micro(&opts),
+        "graph" => graph(&opts),
         "oblivious" => oblivious(&opts),
         "metrics" => metrics(&opts),
         "verify" => verify(&opts),
@@ -483,6 +486,26 @@ fn micro(opts: &Options) -> bool {
     let matrix = RecoveryMatrix::run(opts.seed);
     print!("{}", matrix.render_with_micro(&report));
     campaign_ok("micro", &report.anomalies())
+}
+
+/// The graph campaign: the three applications wired into a service graph
+/// (clients → miniweb → minidb, minide as operator console), the
+/// twelve-kind IPC fault corpus injected on the wire, and per-channel
+/// recovery raced against process supervision across a retry-budget
+/// sweep — reported per (fault class, plane, budget) cell with cascade
+/// and amplification accounting, plus the recovery matrix extended with
+/// the distributed comparison. Exits non-zero if the wire-level class
+/// contract is violated or unchecked.
+fn graph(opts: &Options) -> bool {
+    let spec = GraphSpec { seed: opts.seed, requests: opts.requests, arrival: opts.arrival };
+    let report = GraphReport::run_with(spec, opts.parallel);
+    if opts.json {
+        return print_json("graph report", &report) & campaign_ok("graph", &report.anomalies());
+    }
+    print!("{report}");
+    let matrix = RecoveryMatrix::run(opts.seed);
+    print!("{}", matrix.render_with_graph(&report));
+    campaign_ok("graph", &report.anomalies())
 }
 
 /// The oblivious-recovery campaign: the same open-loop traffic served

@@ -1,0 +1,596 @@
+//! The graph campaign: the distributed IPC fault plane driven at scale.
+//!
+//! The traffic and microreboot campaigns load a *single* application; this
+//! campaign loads the whole service graph — clients → miniweb → minidb
+//! with minide as an operator console — and injects the twelve-kind
+//! Theseus/MINIX3 IPC fault corpus on the wire between the tiers. Each
+//! `(fault kind, recovery plane, retry budget)` unit offers the same
+//! open-loop stream and races the two recovery planes the graph engine
+//! implements: process-level supervision (the restart tree reboots graph
+//! nodes) versus per-channel recovery (drain + reset the channel and
+//! microreboot only the endpoint). On top of the usual SLO ledger every
+//! unit carries the distributed costs the single-app campaigns cannot
+//! see: cascade-depth histograms, per-edge loss/reset counters, and the
+//! downstream-amplification ratio (db requests actually served per db
+//! request a client chain first demanded).
+//!
+//! Determinism: unit seeds come from the batched `split_seed` stream,
+//! per-unit arrival/session/recovery seeds derive per unit, and units
+//! fold in index order through [`run_chunk_fold`] — reports and
+//! registries are byte-identical at any thread count and chunk size.
+
+use crate::experiment::standard_env;
+use faultstudy_core::taxonomy::FaultClass;
+use faultstudy_exec::{run_chunk_fold, ParallelSpec};
+use faultstudy_graph::{
+    graph_plans, run_graph, ChannelFaultKind, GraphFaultPlan, GraphUnitStats, PlaneKind,
+    ServiceGraph,
+};
+use faultstudy_obs::{Histogram, MetricsRegistry};
+use faultstudy_sim::rng::{split_seed, SplitSeedStream};
+use faultstudy_traffic::{ArrivalKind, TrafficParams, UnitStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The retry-budget sweep: no retries (every bitten chain is a
+/// user-visible drop), one retry, and the production-ish budget the
+/// engine's contract tests pin.
+pub const GRAPH_BUDGETS: [u32; 3] = [0, 1, 3];
+
+/// Configuration of a graph campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Master seed; the campaign is a pure function of it.
+    pub seed: u64,
+    /// Total requests offered across the whole campaign, spread evenly
+    /// over the units (earlier units absorb the remainder).
+    pub requests: u64,
+    /// Arrival-process family for every unit.
+    pub arrival: ArrivalKind,
+}
+
+impl Default for GraphSpec {
+    fn default() -> Self {
+        GraphSpec { seed: 1, requests: 21_600, arrival: ArrivalKind::Poisson }
+    }
+}
+
+/// One `(fault kind, plane, budget)` unit of the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphCell {
+    /// Fault plan name (the kind's wire name, e.g. `s1-sender-page-fault`).
+    pub plan: String,
+    /// The paper class the kind maps to under the IPC taxonomy.
+    pub class: FaultClass,
+    /// The injected IPC fault kind.
+    pub kind: ChannelFaultKind,
+    /// Recovery plane under test.
+    pub plane: PlaneKind,
+    /// Client retry budget of the unit's chains.
+    pub budget: u32,
+    /// Fault firings on the wire, summed over every edge.
+    pub fired: u64,
+    /// The unit's graph ledger (SLO base + edges + cascade + TTR).
+    pub stats: GraphUnitStats,
+}
+
+/// Aggregate of one graph campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphReport {
+    /// The spec that produced this report.
+    pub spec: GraphSpec,
+    /// Every unit, in `(kind, plane, budget)` enumeration order.
+    pub cells: Vec<GraphCell>,
+}
+
+/// Units per campaign: every fault kind × plane × retry budget.
+fn unit_count(plans: usize) -> usize {
+    plans * PlaneKind::ALL.len() * GRAPH_BUDGETS.len()
+}
+
+/// One campaign unit: fresh environment, a fresh three-tier graph, the
+/// kind's fault plan firing on the wire, and an open-loop request stream
+/// served through multi-hop chains under the unit's recovery plane.
+fn run_unit(
+    plan: &GraphFaultPlan,
+    plane: PlaneKind,
+    budget: u32,
+    requests: u64,
+    arrival: ArrivalKind,
+    unit_seed: u64,
+    instrumented: bool,
+) -> (GraphCell, Option<MetricsRegistry>) {
+    let mut env = standard_env(unit_seed, instrumented);
+    let mut graph = ServiceGraph::new(&mut env);
+    let params = TrafficParams::standard(arrival, requests);
+    let stats = run_graph(
+        &mut env,
+        &mut graph,
+        plan,
+        plane,
+        budget,
+        &params,
+        split_seed(unit_seed, 1),
+        split_seed(unit_seed, 2),
+        split_seed(unit_seed, 3),
+    );
+    let fired =
+        stats.edges.client_web.faults + stats.edges.web_db.faults + stats.edges.ide_web.faults;
+    let cell = GraphCell {
+        plan: plan.name.clone(),
+        class: plan.class,
+        kind: plan.kind,
+        plane,
+        budget,
+        fired,
+        stats,
+    };
+    let metrics = (instrumented).then(|| env.metrics.take().expect("metrics were enabled"));
+    (cell, metrics.filter(|reg| !reg.is_empty()))
+}
+
+/// Ledgers a finished unit into the campaign registry under its
+/// `<class>/<plane>/b<budget>` cell label.
+fn ledger_unit(registry: &mut MetricsRegistry, cell: &GraphCell) {
+    let label = format!("{}/{}/b{}", cell.class.short(), cell.plane.name(), cell.budget);
+    let s = &cell.stats;
+    registry.incr("graph.offered", &label, s.base.offered);
+    registry.incr("graph.ok", &label, s.base.ok);
+    registry.incr("graph.denied", &label, s.base.denied);
+    registry.incr("graph.dropped", &label, s.base.dropped);
+    registry.incr("graph.slo.violations", &label, s.base.slo_violations);
+    registry.incr("graph.sim_nanos", &label, s.base.sim_nanos);
+    registry.incr("graph.db.first", &label, s.db_first);
+    registry.incr("graph.db.seen", &label, s.db_seen);
+    registry.incr("graph.channel.recoveries", &label, s.channel_recoveries);
+    registry.incr("graph.node.restarts", &label, s.node_restarts);
+    registry.incr(
+        "graph.edge.lost",
+        &label,
+        s.edges.client_web.lost + s.edges.web_db.lost + s.edges.ide_web.lost,
+    );
+    registry.incr(
+        "graph.edge.resets",
+        &label,
+        s.edges.client_web.resets + s.edges.web_db.resets + s.edges.ide_web.resets,
+    );
+    registry.merge_histogram("graph.latency", &label, s.base.latency.clone());
+    registry.merge_histogram("graph.ttr.class", &label, s.ttr.clone());
+    registry.merge_histogram("graph.cascade.depth", &label, s.cascade_depth.clone());
+}
+
+impl GraphReport {
+    /// Runs the campaign with the host's available parallelism.
+    pub fn run(spec: GraphSpec) -> GraphReport {
+        Self::run_with(spec, ParallelSpec::default())
+    }
+
+    /// Runs the campaign on `parallel` worker threads.
+    pub fn run_with(spec: GraphSpec, parallel: ParallelSpec) -> GraphReport {
+        Self::run_units(spec, parallel, false).0
+    }
+
+    /// Runs the campaign with per-unit metrics enabled, returning the
+    /// merged registry alongside the (unchanged) report.
+    ///
+    /// The registry carries the per-cell request ledgers
+    /// (`graph.offered`, `graph.ok`, `graph.denied`, `graph.dropped`,
+    /// `graph.slo.violations`, `graph.sim_nanos`), the distributed cost
+    /// counters (`graph.db.first`, `graph.db.seen`,
+    /// `graph.channel.recoveries`, `graph.node.restarts`,
+    /// `graph.edge.lost`, `graph.edge.resets`), the merged per-cell
+    /// histograms (`graph.latency`, `graph.ttr.class`,
+    /// `graph.cascade.depth`), and everything the units' environments
+    /// recorded. Registries merge in unit-index order, so the result is
+    /// byte-identical at any thread count.
+    pub fn run_instrumented(
+        spec: GraphSpec,
+        parallel: ParallelSpec,
+    ) -> (GraphReport, MetricsRegistry) {
+        Self::run_units(spec, parallel, true)
+    }
+
+    fn run_units(
+        spec: GraphSpec,
+        parallel: ParallelSpec,
+        instrumented: bool,
+    ) -> (GraphReport, MetricsRegistry) {
+        struct Acc {
+            cells: Vec<GraphCell>,
+            registry: MetricsRegistry,
+        }
+        let plans = graph_plans(spec.seed);
+        let units = unit_count(plans.len());
+        let per_plane = GRAPH_BUDGETS.len();
+        let per_plan = PlaneKind::ALL.len() * per_plane;
+        let base_requests = spec.requests / units as u64;
+        let remainder = spec.requests % units as u64;
+        let acc = run_chunk_fold(
+            units,
+            parallel,
+            || Acc { cells: Vec::new(), registry: MetricsRegistry::new() },
+            |range, acc: &mut Acc| {
+                // One batched seed stream per chunk: the worker derives
+                // consecutive unit seeds without per-unit rederivation.
+                let mut seeds = SplitSeedStream::new(spec.seed, range.start as u64);
+                for index in range {
+                    let plan = &plans[index / per_plan];
+                    let plane = PlaneKind::ALL[(index % per_plan) / per_plane];
+                    let budget = GRAPH_BUDGETS[index % per_plane];
+                    let requests = base_requests + u64::from((index as u64) < remainder);
+                    let (cell, metrics) = run_unit(
+                        plan,
+                        plane,
+                        budget,
+                        requests,
+                        spec.arrival,
+                        seeds.next_seed(),
+                        instrumented,
+                    );
+                    if let Some(reg) = &metrics {
+                        acc.registry.merge_from(reg);
+                    }
+                    if instrumented {
+                        ledger_unit(&mut acc.registry, &cell);
+                    }
+                    acc.cells.push(cell);
+                }
+            },
+            |acc, later| {
+                acc.cells.extend(later.cells);
+                acc.registry.merge_from(&later.registry);
+            },
+        );
+        (GraphReport { spec, cells: acc.cells }, acc.registry)
+    }
+
+    /// The unit for `(kind, plane, budget)`, if it exists.
+    pub fn cell(
+        &self,
+        kind: ChannelFaultKind,
+        plane: PlaneKind,
+        budget: u32,
+    ) -> Option<&GraphCell> {
+        self.cells.iter().find(|c| c.kind == kind && c.plane == plane && c.budget == budget)
+    }
+
+    /// The folded graph ledger of every unit of `class` under `plane` at
+    /// `budget`, across all fault kinds of the class.
+    pub fn class_graph(&self, class: FaultClass, plane: PlaneKind, budget: u32) -> GraphUnitStats {
+        let mut total = GraphUnitStats::new();
+        for cell in &self.cells {
+            if cell.class == class && cell.plane == plane && cell.budget == budget {
+                total.absorb(&cell.stats);
+            }
+        }
+        total
+    }
+
+    /// The folded SLO ledger of `(class, plane, budget)`.
+    pub fn class_stats(&self, class: FaultClass, plane: PlaneKind, budget: u32) -> UnitStats {
+        self.class_graph(class, plane, budget).base
+    }
+
+    /// The merged time-to-recovery histogram of `(class, plane, budget)`,
+    /// over chains that were bitten by a fault and still answered.
+    pub fn class_ttr(&self, class: FaultClass, plane: PlaneKind, budget: u32) -> Histogram {
+        self.class_graph(class, plane, budget).ttr
+    }
+
+    /// The merged cascade-depth histogram of `(class, plane, budget)`:
+    /// depth 1 = salvaged inside the chain, 2 = client retried,
+    /// 3 = user-visible drop.
+    pub fn class_cascade(&self, class: FaultClass, plane: PlaneKind, budget: u32) -> Histogram {
+        self.class_graph(class, plane, budget).cascade_depth
+    }
+
+    /// The largest per-cell downstream-amplification ratio at `budget` —
+    /// db requests served per db request the chains first demanded.
+    pub fn max_amplification(&self, budget: u32) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.budget == budget)
+            .map(|c| c.stats.amplification())
+            .fold(1.0, f64::max)
+    }
+
+    /// The folded SLO ledger of the whole campaign.
+    pub fn totals(&self) -> UnitStats {
+        let mut total = UnitStats::default();
+        for cell in &self.cells {
+            total.absorb(&cell.stats.base);
+        }
+        total
+    }
+
+    /// The folded graph ledger of the whole campaign.
+    pub fn graph_totals(&self) -> GraphUnitStats {
+        let mut total = GraphUnitStats::new();
+        for cell in &self.cells {
+            total.absorb(&cell.stats);
+        }
+        total
+    }
+
+    /// Fraction of offered requests in `(class, plane, budget)` that
+    /// missed the SLO — violations plus drops over offered, in [0, 1].
+    pub fn slo_miss_rate(&self, class: FaultClass, plane: PlaneKind, budget: u32) -> f64 {
+        let stats = self.class_stats(class, plane, budget);
+        if stats.offered == 0 {
+            return 0.0;
+        }
+        (stats.slo_violations + stats.dropped) as f64 / stats.offered as f64
+    }
+
+    /// Violations of the campaign's class contracts — the distributed
+    /// analogue of the survival matrix's predictions, measured on the
+    /// wire. A contract cell that was offered no requests (or recovered
+    /// nothing where recovery is the thing under test) is itself an
+    /// anomaly: an underpowered run must exit non-zero instead of
+    /// passing vacuously.
+    ///
+    /// 1. Sticky (nontransient) wedges at the full budget: per-channel
+    ///    recovery must lose nothing and beat process supervision on
+    ///    median time-to-recovery — resetting a channel and rebooting one
+    ///    endpoint is orders cheaper than restarting the node.
+    /// 2. At least one retry policy must amplify downstream load
+    ///    (db requests served per db request demanded > 1): retries are
+    ///    not free, they cascade.
+    /// 3. Defects (environment-independent) must drop requests under
+    ///    *both* planes — no channel hygiene recovers a deterministic bug.
+    /// 4. The run must exercise faults at all.
+    pub fn anomalies(&self) -> Vec<String> {
+        let mut anomalies = Vec::new();
+        let full = *GRAPH_BUDGETS.last().expect("sweep is nonempty");
+
+        let edn = FaultClass::EnvDependentNonTransient;
+        let channel = self.class_graph(edn, PlaneKind::Channel, full);
+        let process = self.class_graph(edn, PlaneKind::Process, full);
+        if channel.base.offered == 0 || process.base.offered == 0 {
+            anomalies.push("edn: offered no requests, contract unchecked".to_owned());
+        } else if channel.base.dropped > 0 {
+            anomalies.push(format!(
+                "edn/channel/b{full}: per-channel recovery lost {} requests on sticky wedges",
+                channel.base.dropped
+            ));
+        } else {
+            match (channel.ttr.p50(), process.ttr.p50()) {
+                (Some(ch), Some(pr)) if ch < pr => {}
+                (Some(ch), Some(pr)) => anomalies.push(format!(
+                    "edn/b{full}: channel ttr p50 {ch} ns must beat process ttr p50 {pr} ns"
+                )),
+                _ => anomalies.push("edn: no recoveries measured, contract unchecked".to_owned()),
+            }
+        }
+
+        let amp = self.max_amplification(full);
+        if amp <= 1.0 {
+            anomalies.push(format!(
+                "b{full}: no retry policy amplified downstream load (max ratio {amp:.3})"
+            ));
+        }
+
+        let ei = FaultClass::EnvironmentIndependent;
+        for plane in PlaneKind::ALL {
+            let stats = self.class_stats(ei, plane, full);
+            if stats.offered == 0 {
+                anomalies
+                    .push(format!("ei/{}: offered no requests, contract unchecked", plane.name()));
+            } else if stats.dropped == 0 {
+                anomalies.push(format!(
+                    "ei/{}: defects must drop requests under any recovery plane",
+                    plane.name()
+                ));
+            }
+        }
+
+        if self.totals().failures == 0 {
+            anomalies.push("campaign exercised no faults".to_owned());
+        }
+        anomalies
+    }
+}
+
+/// Nanoseconds rendered as fractional milliseconds for the tables.
+fn ms(nanos: Option<u64>) -> f64 {
+    nanos.unwrap_or(0) as f64 / 1e6
+}
+
+impl fmt::Display for GraphReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Graph campaign: {} requests offered over {} units ({} arrivals, seed {})",
+            self.spec.requests,
+            self.cells.len(),
+            self.spec.arrival.name(),
+            self.spec.seed
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:<8} {:>3} {:>8} {:>7} {:>8} {:>11} {:>6} {:>7}",
+            "class", "plane", "b", "offered", "avail%", "dropped", "ttr p50 ms", "amp", "viol%"
+        )?;
+        for class in FaultClass::ALL {
+            for plane in PlaneKind::ALL {
+                for budget in GRAPH_BUDGETS {
+                    let g = self.class_graph(class, plane, budget);
+                    if g.base.offered == 0 {
+                        continue;
+                    }
+                    writeln!(
+                        f,
+                        "  {:<12} {:<8} {:>3} {:>8} {:>7.2} {:>8} {:>11.2} {:>6.2} {:>7.2}",
+                        class.short(),
+                        plane.name(),
+                        budget,
+                        g.base.offered,
+                        100.0 * g.base.availability(),
+                        g.base.dropped,
+                        ms(g.ttr.p50()),
+                        g.amplification(),
+                        100.0 * self.slo_miss_rate(class, plane, budget),
+                    )?;
+                }
+            }
+        }
+        let t = self.graph_totals();
+        writeln!(
+            f,
+            "  total: {} offered, {} answered ({:.2}%), {} dropped, {} SLO violations",
+            t.base.offered,
+            t.base.answered(),
+            100.0 * t.base.availability(),
+            t.base.dropped,
+            t.base.slo_violations
+        )?;
+        writeln!(
+            f,
+            "  cascade: {} faulted chains (depth p50 {} max {}), {} channel resets, {} node \
+             restarts, max amplification {:.2} at b{}",
+            t.cascade_depth.count(),
+            t.cascade_depth.p50().unwrap_or(0),
+            t.cascade_depth.max().unwrap_or(0),
+            t.channel_recoveries,
+            t.node_restarts,
+            self.max_amplification(*GRAPH_BUDGETS.last().expect("sweep is nonempty")),
+            GRAPH_BUDGETS.last().expect("sweep is nonempty"),
+        )?;
+        let anomalies = self.anomalies();
+        if anomalies.is_empty() {
+            writeln!(f, "  no anomalies: both planes matched the wire-level class contract")
+        } else {
+            writeln!(f, "  ANOMALIES: {anomalies:?}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(seed: u64) -> GraphSpec {
+        // 3600 / 72 units = 50 requests per unit, exactly.
+        GraphSpec { seed, requests: 3_600, arrival: ArrivalKind::Poisson }
+    }
+
+    #[test]
+    fn campaign_enumerates_every_kind_plane_budget() {
+        let report = GraphReport::run(small_spec(1));
+        assert_eq!(report.cells.len(), 12 * 2 * 3);
+        assert_eq!(report.totals().offered, 3_600);
+        assert!(report.cells.iter().all(|c| c.stats.base.offered == 50));
+        for kind in ChannelFaultKind::ALL {
+            for plane in PlaneKind::ALL {
+                for budget in GRAPH_BUDGETS {
+                    assert!(
+                        report.cell(kind, plane, budget).is_some(),
+                        "{kind} {plane:?} {budget}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_loads_land_on_the_earliest_units() {
+        let spec = GraphSpec { seed: 1, requests: 145, arrival: ArrivalKind::Poisson };
+        let report = GraphReport::run(spec);
+        assert_eq!(report.totals().offered, 145);
+        assert_eq!(report.cells[0].stats.base.offered, 3);
+        assert_eq!(report.cells[1].stats.base.offered, 2);
+        assert_eq!(report.cells[2].stats.base.offered, 2);
+    }
+
+    #[test]
+    fn reports_are_reproducible_and_thread_invariant() {
+        let spec = small_spec(7);
+        let reference = GraphReport::run_with(spec, ParallelSpec::threads(1));
+        for threads in [2usize, 4] {
+            let report = GraphReport::run_with(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, reference, "{threads} threads");
+        }
+        let chunked = GraphReport::run_with(spec, ParallelSpec::threads(2).with_chunk(7));
+        assert_eq!(chunked, reference);
+    }
+
+    #[test]
+    fn the_class_contracts_hold_and_the_report_is_anomaly_free() {
+        let report = GraphReport::run(small_spec(1));
+        assert_eq!(report.anomalies(), Vec::<String>::new());
+
+        // Sticky wedges: the channel plane salvages everything and
+        // recovers far faster than node restarts.
+        let edn = FaultClass::EnvDependentNonTransient;
+        let channel = report.class_graph(edn, PlaneKind::Channel, 3);
+        let process = report.class_graph(edn, PlaneKind::Process, 3);
+        assert_eq!(channel.base.dropped, 0, "channel plane must not lose sticky-wedge chains");
+        assert!(
+            channel.ttr.p50().unwrap() < process.ttr.p50().unwrap(),
+            "channel ttr p50 {:?} !< process {:?}",
+            channel.ttr.p50(),
+            process.ttr.p50()
+        );
+
+        // Retries cascade: some budget-3 cell re-drove the db tier.
+        assert!(report.max_amplification(3) > 1.0);
+
+        // Defects defeat both planes.
+        for plane in PlaneKind::ALL {
+            let ei = report.class_stats(FaultClass::EnvironmentIndependent, plane, 3);
+            assert!(ei.dropped > 0, "{} plane must drop on defects", plane.name());
+        }
+
+        // Zero budget turns every bitten chain into a user-visible drop:
+        // strictly worse availability than the full budget, same plane.
+        let b0 = report.class_stats(edn, PlaneKind::Channel, 0);
+        assert!(b0.dropped > 0, "zero budget must surface drops");
+    }
+
+    #[test]
+    fn instrumented_campaign_reproduces_the_plain_report() {
+        let spec = small_spec(5);
+        let plain = GraphReport::run(spec);
+        let (report, registry) = GraphReport::run_instrumented(spec, ParallelSpec::default());
+        assert_eq!(report, plain, "instrumentation must not perturb the campaign");
+        let mut offered = 0;
+        let mut cascade = 0;
+        for class in FaultClass::ALL {
+            for plane in PlaneKind::ALL {
+                for budget in GRAPH_BUDGETS {
+                    let label = format!("{}/{}/b{}", class.short(), plane.name(), budget);
+                    offered += registry.counter("graph.offered", &label);
+                    cascade +=
+                        registry.histogram("graph.cascade.depth", &label).map_or(0, |h| h.count());
+                }
+            }
+        }
+        assert_eq!(offered, report.totals().offered);
+        assert_eq!(cascade, report.graph_totals().cascade_depth.count());
+        assert!(cascade > 0, "the campaign must fault some chains");
+    }
+
+    #[test]
+    fn instrumented_registry_is_identical_across_thread_counts() {
+        let spec = small_spec(2);
+        let (ref_report, ref_registry) =
+            GraphReport::run_instrumented(spec, ParallelSpec::threads(1));
+        for threads in [2usize, 4] {
+            let (report, registry) =
+                GraphReport::run_instrumented(spec, ParallelSpec::threads(threads));
+            assert_eq!(report, ref_report, "{threads} threads");
+            assert_eq!(registry, ref_registry, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn display_renders_the_cascade_table() {
+        let report = GraphReport::run(small_spec(4));
+        let text = report.to_string();
+        assert!(text.contains("ttr p50 ms"));
+        assert!(text.contains("channel"));
+        assert!(text.contains("process"));
+        assert!(text.contains("cascade:"));
+        assert!(text.contains("amplification"));
+    }
+}

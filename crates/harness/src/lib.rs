@@ -14,6 +14,9 @@
 //!   accounting under injection load.
 //! - [`micro`] — microreboot (crash-only component recovery) measured
 //!   against whole-process restart under the same traffic.
+//! - [`graph`] — the distributed IPC fault plane: the three applications
+//!   wired into a service graph, wire-level fault injection, and
+//!   per-channel recovery raced against process supervision.
 //! - [`oblivious`] — failure-oblivious continuation and self-healing
 //!   measured against restart, priced by per-application correctness
 //!   oracles.
@@ -41,6 +44,7 @@ pub mod campaign;
 pub mod experiment;
 pub mod expreport;
 pub mod funnel;
+pub mod graph;
 pub mod inject;
 pub mod matrix;
 pub mod micro;
@@ -55,6 +59,7 @@ pub use experiment::{
 pub use expreport::experiments_markdown;
 pub use faultstudy_exec::ParallelSpec;
 pub use funnel::{paper_scale_funnels, paper_scale_funnels_instrumented, paper_scale_funnels_with};
+pub use graph::{GraphCell, GraphReport, GraphSpec, GRAPH_BUDGETS};
 pub use inject::{InjectCell, InjectReport, InjectSpec};
 pub use matrix::RecoveryMatrix;
 pub use micro::{micro_plans, MicroCell, MicroReport, MicroSpec, RecoveryMode};

@@ -300,6 +300,73 @@ impl RecoveryMatrix {
         out
     }
 
+    /// Renders the matrix with the distributed comparison appended: per
+    /// fault class at the campaign's full retry budget, availability and
+    /// median time-to-recovery under process-level supervision versus
+    /// per-channel recovery on the service graph, plus the cascade line
+    /// (faulted chains, channel resets, node restarts, peak downstream
+    /// amplification). The survival matrix measures recovery of one
+    /// process; these families measure what the same taxonomy costs once
+    /// the fault rides the wire between processes.
+    pub fn render_with_graph(&self, graph: &crate::graph::GraphReport) -> String {
+        use crate::graph::GRAPH_BUDGETS;
+        use faultstudy_graph::PlaneKind;
+        let full = *GRAPH_BUDGETS.last().expect("sweep is nonempty");
+        let mut out = self.to_string();
+        let _ = writeln!(
+            out,
+            "per-channel recovery vs process supervision (service graph, {} requests, budget {}):",
+            graph.spec.requests, full
+        );
+        let _ = write!(out, "{:<22}", "availability");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for plane in PlaneKind::ALL {
+            let _ = write!(out, "{:<22}", plane.name());
+            for class in FaultClass::ALL {
+                let stats = graph.class_stats(class, plane, full);
+                if stats.offered == 0 {
+                    let _ = write!(out, " {:>14}", "-");
+                } else {
+                    let _ = write!(out, " {:>14}", format!("{:.2}%", 100.0 * stats.availability()));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:<22}", "ttr p50");
+        for class in FaultClass::ALL {
+            let _ = write!(out, " {:>14}", class.short());
+        }
+        let _ = writeln!(out);
+        for plane in PlaneKind::ALL {
+            let _ = write!(out, "{:<22}", plane.name());
+            for class in FaultClass::ALL {
+                match graph.class_ttr(class, plane, full).p50() {
+                    Some(nanos) => {
+                        let _ = write!(out, " {:>14}", Duration::from_nanos(nanos).to_string());
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let totals = graph.graph_totals();
+        let _ = writeln!(
+            out,
+            "cascade: {} faulted chains, {} channel resets, {} node restarts, max amplification \
+             {:.2}",
+            totals.cascade_depth.count(),
+            totals.channel_recoveries,
+            totals.node_restarts,
+            graph.max_amplification(full),
+        );
+        out
+    }
+
     /// Renders the matrix with the oblivious-recovery column families
     /// per fault class, taken from an oblivious campaign: availability
     /// per heal mode, then the price of staying available — substitute

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Updates BENCH_graph.json (simulated requests/sec of the graph campaign
+# at 1..N worker threads, plus the channel-vs-process TTR ratio on sticky
+# wedges and the peak downstream-amplification ratio). The file's
+# trajectory is appended to, not overwritten: each run preserves the
+# prior `trajectory` entries and adds its own 1-thread rate and ratios,
+# so the file accumulates the histories across PRs. Before any timing the
+# bench asserts that the graph report, its instrumented metrics registry,
+# and the rendered campaign table are byte-identical at 1/2/4 threads and
+# across chunk sizes, and aborts on violation. Run from the repo root:
+#
+#   sh scripts/bench_graph.sh
+#
+# or via make: `make bench-graph`. Override the campaign size with
+# BENCH_GRAPH_REQUESTS (default 600,000).
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p faultstudy-bench --bin bench_graph -- BENCH_graph.json

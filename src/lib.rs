@@ -25,6 +25,9 @@
 //!   SLO accounting.
 //! - [`micro`] — crash-only component model: state-kind taxonomy and the
 //!   crash/boot contract behind microreboot recovery.
+//! - [`graph`] — distributed IPC fault plane: the applications wired into
+//!   a service graph with channel-level fault injection, cascade
+//!   accounting, and per-channel recovery.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use faultstudy_core as core;
 pub use faultstudy_corpus as corpus;
 pub use faultstudy_env as env;
 pub use faultstudy_exec as exec;
+pub use faultstudy_graph as graph;
 pub use faultstudy_harness as harness;
 pub use faultstudy_inject as inject;
 pub use faultstudy_micro as micro;
